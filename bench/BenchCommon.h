@@ -1,0 +1,83 @@
+//===- BenchCommon.h - Shared harness utilities for figure benches --------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: instruction-budget
+/// env knobs, cached baseline runs, and table assembly. Every figure
+/// binary prints the same rows/series the paper reports, plus a short
+/// "paper says / we measure" note.
+///
+/// Environment knobs:
+///   TRIDENT_BENCH_INSTR  per-run committed-instruction budget
+///                        (default 2,000,000)
+///   TRIDENT_BENCH_QUICK  =1: quarter budget (smoke-testing the harness)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_BENCH_BENCHCOMMON_H
+#define TRIDENT_BENCH_BENCHCOMMON_H
+
+#include "sim/Simulation.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace trident {
+namespace bench {
+
+inline uint64_t instrBudget() {
+  uint64_t N = 2'000'000;
+  if (const char *E = std::getenv("TRIDENT_BENCH_INSTR"))
+    if (uint64_t V = std::strtoull(E, nullptr, 10))
+      N = V;
+  if (const char *Q = std::getenv("TRIDENT_BENCH_QUICK"))
+    if (*Q && *Q != '0')
+      N /= 4;
+  return N;
+}
+
+inline uint64_t warmupBudget() { return 100'000; }
+
+inline SimConfig withBudget(SimConfig C) {
+  C.SimInstructions = instrBudget();
+  C.WarmupInstructions = warmupBudget();
+  return C;
+}
+
+/// Runs one workload under one configuration with the standard budget.
+inline SimResult run(const std::string &Name, SimConfig C) {
+  Workload W = makeWorkload(Name);
+  return runSimulation(W, withBudget(C));
+}
+
+/// Percent-speedup string of A over Base.
+inline std::string pctOver(const SimResult &A, const SimResult &Base) {
+  return formatPercent(speedup(A, Base) - 1.0, 1);
+}
+
+/// Prints a standard figure header.
+inline void printHeader(const char *Figure, const char *What,
+                        const char *PaperSays) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s: %s\n", Figure, What);
+  std::printf("paper: %s\n", PaperSays);
+  std::printf("budget: %llu committed instructions per run (+%llu warmup)\n",
+              static_cast<unsigned long long>(instrBudget()),
+              static_cast<unsigned long long>(warmupBudget()));
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+} // namespace bench
+} // namespace trident
+
+#endif // TRIDENT_BENCH_BENCHCOMMON_H

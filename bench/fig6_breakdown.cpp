@@ -1,0 +1,47 @@
+//===- fig6_breakdown.cpp - Figure 6: dynamic-load outcome breakdown -------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+// Reproduces Figure 6: the percentage of all dynamic loads that hit
+// normally, hit a line a prefetch brought in (first touch), partially hit
+// an in-flight prefetch, miss, or miss *because* a prefetch displaced the
+// line. The paper's two key observations: misses due to prefetching
+// rarely occur, and partial prefetch hits are a small fraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace trident;
+using namespace trident::bench;
+
+int main() {
+  printHeader("Figure 6", "breakdown of all dynamic loads",
+              "misses-due-to-prefetch rare; low incidence of partial hits");
+
+  Table T({"benchmark", "hits", "hit-prefetched", "partial hits", "misses",
+           "miss-due-to-pf"});
+  double SumPartial = 0, SumMissPf = 0;
+
+  for (const std::string &Name : workloadNames()) {
+    SimResult R = run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+    const RuntimeStats &S = R.Runtime;
+    double N = std::max<double>(1.0, static_cast<double>(S.LdTotal));
+    auto Pct = [&](uint64_t X) { return formatPercent(X / N, 1); };
+    SumPartial += S.LdPartial / N;
+    SumMissPf += S.LdMissDueToPf / N;
+    T.addRow({Name, Pct(S.LdHitNone), Pct(S.LdHitPrefetched),
+              Pct(S.LdPartial), Pct(S.LdMiss), Pct(S.LdMissDueToPf)});
+    std::fflush(stdout);
+  }
+
+  size_t N = workloadNames().size();
+  T.addSeparator();
+  T.addRow({"average", "-", "-", formatPercent(SumPartial / N, 1), "-",
+            formatPercent(SumMissPf / N, 1)});
+  std::printf("%s\n", T.render().c_str());
+  std::printf("shape check: the miss-due-to-prefetch column should be near "
+              "zero everywhere\n(the adaptive prefetcher rarely pollutes), "
+              "and partial hits a modest share.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- pointer_chase.cpp - Watching self-repair converge -------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+// Uses the *component-level* API (rather than the runSimulation wrapper)
+// to wire up the machine by hand, run an mcf-like pointer chase in time
+// slices, and print the prefetch distance trajectory as the self-repairing
+// optimizer adapts it — the paper's Section 3.5 mechanism, live.
+//
+// Run:  ./build/examples/pointer_chase
+//
+//===----------------------------------------------------------------------===//
+
+#include "branch/BranchPredictor.h"
+#include "core/TridentRuntime.h"
+#include "hwpf/StreamBuffer.h"
+#include "isa/ProgramBuilder.h"
+#include "trident/CodeCache.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace trident;
+
+int main() {
+  // --- The program: chase 128-byte nodes, touching two cache lines each.
+  constexpr Addr ListBase = 0x1000'0000;
+  ProgramBuilder B;
+  B.loadImm(1, ListBase);
+  B.loadImm(4, 0).loadImm(5, int64_t(1) << 40);
+  B.label("loop");
+  B.load(1, 1, 0);
+  B.load(6, 1, 8).load(7, 1, 16);
+  B.load(8, 1, 72).load(9, 1, 96);
+  B.fadd(10, 6, 7);
+  B.fadd(10, 10, 8);
+  B.fadd(11, 10, 9);
+  B.fadd(12, 12, 11);
+  B.addi(4, 4, 1);
+  B.blt(4, 5, "loop");
+  B.halt();
+  Program Prog = B.finish();
+  Addr LoopHead = Prog.entryPC() + 3; // the "loop" label
+
+  // --- Wire the machine by hand.
+  DataMemory Data;
+  buildRunShuffledList(Data, ListBase, 1 << 17, 128, 0, /*RunLength=*/32);
+
+  MemorySystem Mem(MemSystemConfig::baseline());
+  Mem.attachPrefetcher(
+      std::make_unique<StreamBufferUnit>(StreamBufferConfig::config8x8()));
+
+  CodeCache CC;
+  CodeImage Image(Prog, CC);
+  SmtCore Core(CoreConfig::baseline(), Image, Data, Mem);
+  MetaPredictor Predictor;
+  Core.setBranchPredictor(&Predictor);
+
+  RuntimeConfig RC = RuntimeConfig::baseline();
+  TridentRuntime Runtime(RC, Prog, Core, CC);
+  Core.setListener(&Runtime);
+  Runtime.setEnabled(true);
+
+  Core.startContext(0, Prog.entryPC());
+
+  // --- Run in slices, watching the optimizer adapt.
+  std::printf("slice  instrs    cycles    IPC    traces  events  repairs  "
+              "distance\n");
+  std::printf("-----  --------  --------  -----  ------  ------  -------  "
+              "--------\n");
+  uint64_t PrevInstr = 0;
+  Cycle PrevCycles = 0;
+  for (int Slice = 1; Slice <= 16; ++Slice) {
+    Core.run(/*TargetCommits=*/150'000, /*CycleLimit=*/~0ull);
+    uint64_t Instr = Core.stats(0).CommittedOriginal;
+    Cycle Now = Core.now();
+    double SliceIpc =
+        double(Instr - PrevInstr) / double(Now - PrevCycles);
+    const RuntimeStats &S = Runtime.stats();
+    std::printf("%5d  %8llu  %8llu  %.3f  %6llu  %6llu  %7llu  %8d\n",
+                Slice, (unsigned long long)Instr, (unsigned long long)Now,
+                SliceIpc, (unsigned long long)S.TracesInstalled,
+                (unsigned long long)S.DelinquentEvents,
+                (unsigned long long)S.RepairOptimizations,
+                Runtime.currentDistanceFor(LoopHead));
+    PrevInstr = Instr;
+    PrevCycles = Now;
+  }
+
+  // --- Final plan inspection through the public API.
+  if (const PrefetchPlan *Plan = Runtime.planFor(LoopHead)) {
+    std::printf("\nfinal prefetch plan for the hot loop:\n");
+    std::printf("  %zu group(s), %zu planned prefetch instruction(s)\n",
+                Plan->Groups.size(), Plan->Prefetches.size());
+    for (const PrefetchGroup &G : Plan->Groups)
+      std::printf("  group %u: %s, distance %d (max %d), covers %zu "
+                  "load(s)\n",
+                  G.Id, G.Repairable ? "stride/repairable" : "pointer",
+                  G.Distance, G.MaxDistance, G.CoveredLoadIdxs.size());
+  }
+  std::printf("\nThe slice IPC should climb as the distance converges, then "
+              "hold steady\nonce the loads mature (Sections 3.5.1-3.5.2).\n");
+  return 0;
+}

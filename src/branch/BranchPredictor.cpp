@@ -1,0 +1,64 @@
+//===- BranchPredictor.cpp ------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "branch/BranchPredictor.h"
+
+#include <cassert>
+
+using namespace trident;
+
+BranchPredictor::~BranchPredictor() = default;
+
+static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
+
+BimodalPredictor::BimodalPredictor(unsigned NumEntries) {
+  assert(isPowerOfTwo(NumEntries) && "table size must be a power of two");
+  Table.assign(NumEntries, TwoBitCounter(2)); // weakly taken
+}
+
+bool BimodalPredictor::predict(Addr PC) const {
+  return Table[indexOf(PC)].isSet();
+}
+
+void BimodalPredictor::update(Addr PC, bool Taken) {
+  Table[indexOf(PC)].add(Taken ? 1 : -1);
+}
+
+GSharePredictor::GSharePredictor(unsigned NumEntries, unsigned HistoryBits)
+    : HistoryMask((uint64_t(1) << HistoryBits) - 1) {
+  assert(isPowerOfTwo(NumEntries) && "table size must be a power of two");
+  Table.assign(NumEntries, TwoBitCounter(2));
+}
+
+bool GSharePredictor::predict(Addr PC) const {
+  return Table[indexOf(PC)].isSet();
+}
+
+void GSharePredictor::update(Addr PC, bool Taken) {
+  Table[indexOf(PC)].add(Taken ? 1 : -1);
+  History = ((History << 1) | (Taken ? 1 : 0)) & HistoryMask;
+}
+
+MetaPredictor::MetaPredictor(unsigned MetaEntries, unsigned GshareEntries,
+                             unsigned BimodalEntries)
+    : Gshare(GshareEntries), Bimodal(BimodalEntries) {
+  assert(isPowerOfTwo(MetaEntries) && "table size must be a power of two");
+  Meta.assign(MetaEntries, TwoBitCounter(2));
+}
+
+bool MetaPredictor::predict(Addr PC) const {
+  bool UseGshare = Meta[metaIndex(PC)].isSet();
+  return UseGshare ? Gshare.predict(PC) : Bimodal.predict(PC);
+}
+
+void MetaPredictor::update(Addr PC, bool Taken) {
+  bool G = Gshare.predict(PC);
+  bool B = Bimodal.predict(PC);
+  if (G != B)
+    Meta[metaIndex(PC)].add(G == Taken ? 1 : -1);
+  Gshare.update(PC, Taken);
+  Bimodal.update(PC, Taken);
+}

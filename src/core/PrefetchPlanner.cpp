@@ -1,0 +1,429 @@
+//===- PrefetchPlanner.cpp ------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PrefetchPlanner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace trident;
+
+bool PrefetchPlan::covers(unsigned BodyIdx) const {
+  for (const PrefetchGroup &G : Groups)
+    for (unsigned Idx : G.CoveredLoadIdxs)
+      if (Idx == BodyIdx)
+        return true;
+  for (unsigned Idx : UncoverableLoadIdxs)
+    if (Idx == BodyIdx)
+      return true;
+  return false;
+}
+
+PrefetchGroup *PrefetchPlan::groupCovering(unsigned BodyIdx) {
+  for (PrefetchGroup &G : Groups)
+    for (unsigned Idx : G.CoveredLoadIdxs)
+      if (Idx == BodyIdx)
+        return &G;
+  return nullptr;
+}
+
+std::vector<uint8_t>
+PrefetchPlanner::regWriteCounts(const std::vector<Instruction> &Body,
+                                unsigned Reg) {
+  std::vector<uint8_t> Versions(Body.size(), 0);
+  uint8_t V = 0;
+  for (size_t I = 0; I < Body.size(); ++I) {
+    Versions[I] = V; // version *before* instruction I executes
+    const Instruction &Ins = Body[I];
+    if (Ins.writesRd() && Ins.Rd == Reg) {
+      // A self-chasing pointer load (p = p->next) advances to the next
+      // object of the *same* traversal; for same-object grouping the loads
+      // before and after it belong together (the paper groups the chasing
+      // load with the field loads it feeds). Do not split the group there.
+      bool SelfChase = Ins.isLoad() && Ins.Rs1 == Reg;
+      if (!SelfChase)
+        ++V;
+    }
+  }
+  return Versions;
+}
+
+void PrefetchPlanner::classify(const std::vector<Instruction> &BaseBody,
+                               DelinquentLoad &DL,
+                               const DelinquentLoadTable &Dlt) const {
+  const Instruction &L = BaseBody[DL.BodyIdx];
+  assert(L.isLoad() && "classifying a non-load");
+  DL.BaseReg = L.Rs1;
+  DL.Offset = L.Imm;
+
+  // -- Stride via trace recurrence: the base register must be updated by
+  // exactly one simple arithmetic instruction over itself and a constant
+  // (Section 3.4.1).
+  unsigned Writers = 0;
+  int64_t RecurrenceStride = 0;
+  bool SimpleRecurrence = false;
+  for (const Instruction &I : BaseBody) {
+    if (!I.writesRd() || I.Rd != DL.BaseReg)
+      continue;
+    ++Writers;
+    if (I.Op == Opcode::AddI && I.Rs1 == DL.BaseReg) {
+      RecurrenceStride = I.Imm;
+      SimpleRecurrence = true;
+    } else if (I.Op == Opcode::SubI && I.Rs1 == DL.BaseReg) {
+      RecurrenceStride = -I.Imm;
+      SimpleRecurrence = true;
+    } else {
+      SimpleRecurrence = false;
+    }
+  }
+  if (Writers == 1 && SimpleRecurrence && RecurrenceStride != 0) {
+    DL.Class = LoadClass::Stride;
+    DL.Stride = RecurrenceStride;
+    DL.StrideFromDlt = false;
+    return;
+  }
+
+  // -- Stride via DLT hardware observation: "we also mark any load the DLT
+  // found stride-predictable (which picks up more complex recurrences)",
+  // including pointer loads over regularly allocated structures.
+  if (std::optional<DltSnapshot> S = Dlt.lookup(DL.PC)) {
+    if (S->StridePredictable && S->Stride != 0) {
+      DL.Class = LoadClass::Stride;
+      DL.Stride = S->Stride;
+      DL.StrideFromDlt = true;
+      return;
+    }
+  }
+
+  // -- Pointer: destination used (before modification) as the base of
+  // another load. The scan wraps around the loop body once, since the use
+  // is often in the next iteration (p = p->next).
+  unsigned Rd = L.Rd;
+  if (Rd != reg::Zero) {
+    size_t N = BaseBody.size();
+    bool IsPointer = (L.Rs1 == Rd); // self-chasing: ld r, (r)
+    for (size_t Step = 1; Step < N && !IsPointer; ++Step) {
+      const Instruction &I = BaseBody[(DL.BodyIdx + Step) % N];
+      if (I.isLoad() && I.Rs1 == Rd) {
+        IsPointer = true;
+        break;
+      }
+      if (I.writesRd() && I.Rd == Rd)
+        break;
+    }
+    if (IsPointer) {
+      DL.Class = LoadClass::Pointer;
+      return;
+    }
+  }
+
+  DL.Class = LoadClass::Unclassified;
+}
+
+std::vector<DelinquentLoad> PrefetchPlanner::identifyDelinquentLoads(
+    const std::vector<Instruction> &BaseBody,
+    const std::vector<Addr> &InstalledPCs,
+    const DelinquentLoadTable &Dlt) const {
+  assert(InstalledPCs.size() == BaseBody.size() &&
+         "PC map must cover the body");
+  std::vector<DelinquentLoad> Out;
+  for (size_t I = 0; I < BaseBody.size(); ++I) {
+    const Instruction &Ins = BaseBody[I];
+    if (!Ins.isLoad() || Ins.Synthetic)
+      continue;
+    Addr PC = InstalledPCs[I];
+    if (!Dlt.isDelinquent(PC))
+      continue;
+    DelinquentLoad DL;
+    DL.BodyIdx = static_cast<unsigned>(I);
+    DL.PC = PC;
+    if (std::optional<DltSnapshot> S = Dlt.lookup(PC))
+      DL.AvgMissLatency = S->avgMissLatency();
+    classify(BaseBody, DL, Dlt);
+    Out.push_back(DL);
+  }
+  return Out;
+}
+
+unsigned PrefetchPlanner::plan(const std::vector<Instruction> &BaseBody,
+                               const std::vector<DelinquentLoad> &Loads,
+                               PrefetchPlan &Plan,
+                               int InitialDistance) const {
+  InitialDistance = std::clamp(InitialDistance, 1, Config.DistanceCap);
+
+  // Work over loads not already covered by the existing plan.
+  std::vector<DelinquentLoad> Fresh;
+  for (const DelinquentLoad &DL : Loads)
+    if (!Plan.covers(DL.BodyIdx))
+      Fresh.push_back(DL);
+  if (Fresh.empty())
+    return 0;
+
+  unsigned Covered = 0;
+  unsigned NextGroupId = static_cast<unsigned>(Plan.Groups.size());
+
+  // --- Same-object grouping: key = (base register, base version at use).
+  // Every group keyed here contains at least one delinquent load; the
+  // degenerate single-load group is explicitly allowed (Section 3.4.1).
+  std::map<std::pair<unsigned, uint64_t>, std::vector<size_t>> GroupMap;
+  for (size_t I = 0; I < Fresh.size(); ++I) {
+    const DelinquentLoad &DL = Fresh[I];
+    std::vector<uint8_t> Vers = regWriteCounts(BaseBody, DL.BaseReg);
+    uint64_t Version = Vers[DL.BodyIdx];
+    if (!Config.WholeObject) {
+      // Basic scheme: no grouping — unique key per load.
+      GroupMap[{DL.BaseReg, (uint64_t(1) << 32) + I}].push_back(I);
+      (void)Version;
+    } else {
+      GroupMap[{DL.BaseReg, Version}].push_back(I);
+    }
+  }
+
+  for (auto &[Key, MemberIdxs] : GroupMap) {
+    // A group is stride address predictable when any member is Stride.
+    const DelinquentLoad *StrideRep = nullptr;
+    for (size_t MI : MemberIdxs)
+      if (Fresh[MI].Class == LoadClass::Stride &&
+          (!StrideRep || Fresh[MI].AvgMissLatency > StrideRep->AvgMissLatency))
+        StrideRep = &Fresh[MI];
+
+    if (StrideRep) {
+      // ---- Stride-based same-object prefetching (Section 3.4.2).
+      PrefetchGroup G;
+      G.Id = NextGroupId++;
+      G.Repairable = true;
+      G.Distance = InitialDistance;
+      int64_t Stride = StrideRep->Stride;
+
+      // Sort member offsets ascending.
+      std::vector<size_t> ByOffset(MemberIdxs);
+      std::sort(ByOffset.begin(), ByOffset.end(), [&](size_t A, size_t B) {
+        return Fresh[A].Offset < Fresh[B].Offset;
+      });
+      unsigned FirstBodyIdx = ~0u;
+      for (size_t MI : MemberIdxs)
+        FirstBodyIdx = std::min(FirstBodyIdx, Fresh[MI].BodyIdx);
+
+      const int64_t Line = static_cast<int64_t>(Config.LineSize);
+      int64_t MinOff = Fresh[ByOffset.front()].Offset;
+      int64_t CoveredEnd = MinOff + Line;
+      bool AnySkipped = false;
+
+      auto emitStridePf = [&](int64_t Off) {
+        PlannedPrefetch P;
+        P.K = PlannedPrefetch::Kind::StridePf;
+        P.InsertBeforeIdx = FirstBodyIdx;
+        P.BaseReg = Key.first;
+        P.BaseComponent = Off;
+        P.Stride = Stride;
+        P.GroupId = G.Id;
+        G.PrefetchIdxs.push_back(Plan.Prefetches.size());
+        Plan.Prefetches.push_back(P);
+      };
+
+      emitStridePf(MinOff);
+      for (size_t K = 1; K < ByOffset.size(); ++K) {
+        int64_t Off = Fresh[ByOffset[K]].Offset;
+        if (Off < CoveredEnd) {
+          // Within the cache line of the previous prefetch: skip, but the
+          // unknown base alignment may push it into the next block.
+          if (Off != MinOff)
+            AnySkipped = true;
+          continue;
+        }
+        emitStridePf(Off);
+        CoveredEnd = Off + Line;
+      }
+      if (AnySkipped)
+        emitStridePf(CoveredEnd); // one additional block after skips
+
+      // Pointer members: also dereference right after the stride prefetch
+      // (Section 3.4.3, last paragraph). The nfload's immediate carries
+      // the distance so repair rescales it together with the prefetches.
+      for (size_t MI : MemberIdxs) {
+        const DelinquentLoad &DL = Fresh[MI];
+        if (DL.Class != LoadClass::Pointer &&
+            !(DL.Class == LoadClass::Stride && DL.StrideFromDlt &&
+              BaseBody[DL.BodyIdx].Rd == BaseBody[DL.BodyIdx].Rs1))
+          continue;
+        if (!Config.WholeObject)
+          continue;
+        PlannedPrefetch P;
+        P.K = PlannedPrefetch::Kind::PointerDeref;
+        P.InsertBeforeIdx = DL.BodyIdx;
+        P.BaseReg = DL.BaseReg;
+        P.BaseComponent = DL.Offset;
+        P.Stride = Stride;
+        P.DerefOffsets = {0};
+        P.GroupId = G.Id;
+        G.PrefetchIdxs.push_back(Plan.Prefetches.size());
+        Plan.Prefetches.push_back(P);
+      }
+
+      for (size_t MI : MemberIdxs) {
+        G.CoveredLoadIdxs.push_back(Fresh[MI].BodyIdx);
+        G.PerLoad.emplace_back();
+        ++Covered;
+      }
+      Plan.Groups.push_back(std::move(G));
+      continue;
+    }
+
+    // ---- Pure pointer group (no stride member).
+    if (Config.WholeObject) {
+      // Find the chasing representative: a pointer member, or — common in
+      // `p = p->next; ...use p->f...` loops, where the chase itself always
+      // hits the line its field loads just fetched and so never becomes
+      // delinquent — the unique load *defining* the group's base register.
+      // Either way, dereferencing it once reaches the next object.
+      unsigned BaseReg = Key.first;
+      int64_t LinkOffset = 0;
+      unsigned ChaseIdx = ~0u;
+      for (size_t MI : MemberIdxs) {
+        const DelinquentLoad &DL = Fresh[MI];
+        if (DL.Class != LoadClass::Pointer)
+          continue;
+        const Instruction &L = BaseBody[DL.BodyIdx];
+        if (ChaseIdx == ~0u || L.Rs1 == L.Rd) {
+          ChaseIdx = DL.BodyIdx;
+          LinkOffset = DL.Offset;
+        }
+      }
+      if (ChaseIdx == ~0u) {
+        // No delinquent pointer member; look for a unique self-chasing
+        // load defining the base register in the trace.
+        unsigned Writers = 0;
+        for (unsigned I = 0; I < BaseBody.size(); ++I) {
+          const Instruction &W = BaseBody[I];
+          if (!W.writesRd() || W.Rd != BaseReg)
+            continue;
+          ++Writers;
+          if (W.isLoad() && W.Rs1 == BaseReg) {
+            ChaseIdx = I;
+            LinkOffset = W.Imm;
+          } else {
+            ChaseIdx = ~0u; // non-load writer: not a chased pointer
+          }
+        }
+        if (Writers != 1)
+          ChaseIdx = ~0u;
+      }
+      if (ChaseIdx != ~0u) {
+        PrefetchGroup G;
+        G.Id = NextGroupId++;
+        G.Repairable = false; // no stride to rescale
+        G.Distance = 1;
+
+        // Inserted *after* the chasing load, as in the paper's example:
+        //   ld   rd, off(rb)        ; the original chasing load
+        //   nfld rt, off(rd)        ; loads the *next* object's link...
+        //   pf   o_k(rt)            ; ...and prefetches the next object's
+        //                           ; lines for every member offset o_k
+        // (Section 3.4.3 combined with the same-object rule: the whole
+        // next object is covered with one dereference). The pair's base
+        // is the chasing load's *destination* register.
+        const Instruction &L = BaseBody[ChaseIdx];
+        PlannedPrefetch P;
+        P.K = PlannedPrefetch::Kind::PointerDeref;
+        P.InsertBeforeIdx = ChaseIdx + 1;
+        P.BaseReg = L.Rd;
+        P.BaseComponent = LinkOffset;
+        P.Stride = 0;
+        P.GroupId = G.Id;
+
+        // Line-cover the member offsets of the (next) object, with the
+        // usual skip + one-extra-block rule.
+        std::vector<int64_t> Offs;
+        Offs.push_back(LinkOffset); // the link line itself
+        for (size_t MI : MemberIdxs)
+          Offs.push_back(Fresh[MI].Offset);
+        std::sort(Offs.begin(), Offs.end());
+        const int64_t Line = static_cast<int64_t>(Config.LineSize);
+        int64_t CoveredEnd = Offs.front() + Line;
+        bool AnySkipped = false;
+        P.DerefOffsets.push_back(Offs.front());
+        for (size_t K = 1; K < Offs.size(); ++K) {
+          if (Offs[K] < CoveredEnd) {
+            if (Offs[K] != Offs.front())
+              AnySkipped = true;
+            continue;
+          }
+          P.DerefOffsets.push_back(Offs[K]);
+          CoveredEnd = Offs[K] + Line;
+        }
+        if (AnySkipped)
+          P.DerefOffsets.push_back(CoveredEnd);
+
+        G.PrefetchIdxs.push_back(Plan.Prefetches.size());
+        Plan.Prefetches.push_back(P);
+
+        for (size_t MI : MemberIdxs) {
+          G.CoveredLoadIdxs.push_back(Fresh[MI].BodyIdx);
+          G.PerLoad.emplace_back();
+          ++Covered;
+        }
+        Plan.Groups.push_back(std::move(G));
+        continue;
+      }
+    }
+
+    // ---- Not prefetchable in this framework: the runtime matures these.
+    for (size_t MI : MemberIdxs)
+      Plan.UncoverableLoadIdxs.push_back(Fresh[MI].BodyIdx);
+  }
+
+  return Covered;
+}
+
+PlanEmission
+PrefetchPlanner::emit(const std::vector<Instruction> &BaseBody,
+                      const PrefetchPlan &Plan) const {
+  PlanEmission E;
+  E.OldToNew.resize(BaseBody.size());
+  E.PatchSlots.assign(Plan.Prefetches.size(), 0);
+
+  // Bucket planned prefetches by insertion point.
+  std::vector<std::vector<size_t>> AtIdx(BaseBody.size() + 1);
+  for (size_t PI = 0; PI < Plan.Prefetches.size(); ++PI) {
+    unsigned At = std::min<unsigned>(Plan.Prefetches[PI].InsertBeforeIdx,
+                                     static_cast<unsigned>(BaseBody.size()));
+    AtIdx[At].push_back(PI);
+  }
+
+  for (size_t I = 0; I <= BaseBody.size(); ++I) {
+    for (size_t PI : AtIdx[I]) {
+      const PlannedPrefetch &P = Plan.Prefetches[PI];
+      // Find the group's current distance.
+      int D = 1;
+      for (const PrefetchGroup &G : Plan.Groups)
+        if (G.Id == P.GroupId)
+          D = G.Distance;
+      int64_t Imm = immediateFor(P, D);
+      if (P.K == PlannedPrefetch::Kind::StridePf) {
+        Instruction Pf = makePrefetch(P.BaseReg, Imm);
+        Pf.Synthetic = true;
+        E.PatchSlots[PI] = static_cast<unsigned>(E.NewBody.size());
+        E.NewBody.push_back(Pf);
+      } else {
+        Instruction Nf = makeNFLoad(Config.ScratchReg, P.BaseReg, Imm);
+        Nf.Synthetic = true;
+        E.PatchSlots[PI] = static_cast<unsigned>(E.NewBody.size());
+        E.NewBody.push_back(Nf);
+        for (int64_t Off : P.DerefOffsets) {
+          Instruction Pf = makePrefetch(Config.ScratchReg, Off);
+          Pf.Synthetic = true;
+          E.NewBody.push_back(Pf);
+        }
+      }
+    }
+    if (I < BaseBody.size()) {
+      E.OldToNew[I] = static_cast<unsigned>(E.NewBody.size());
+      E.NewBody.push_back(BaseBody[I]);
+    }
+  }
+  return E;
+}

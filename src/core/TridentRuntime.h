@@ -1,0 +1,257 @@
+//===- TridentRuntime.h - Event-driven optimization runtime ----*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Trident runtime extended with the self-repairing prefetcher — the
+/// orchestrator of the whole paper:
+///
+///  * observes the commit stream of the main thread (CoreListener),
+///  * detects hot traces (branch profiler), forms and links them
+///    (trace builder, code cache, binary patcher, watch table),
+///  * monitors hot-trace loads in the DLT; delinquent-load events spawn
+///    the helper thread (modeled as a costed work stub on the spare SMT
+///    context, with the paper's 2000-cycle startup latency),
+///  * the helper inserts prefetches (PrefetchPlanner) or repairs existing
+///    ones by patching distance immediates in the code cache, following
+///    the adaptive algorithm of Sections 3.5.1-3.5.2 (distance 1 upward,
+///    back off when average access latency rises, 2x-max-distance repair
+///    budget, prefetch maturing).
+///
+/// PrefetchMode selects the paper's three evaluated schemes (Figure 5):
+/// Basic (estimated fixed distance, no grouping), WholeObject (same-object
+/// + pointer prefetching, estimated fixed distance), SelfRepairing (whole
+/// object + adaptive repair).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_CORE_TRIDENTRUNTIME_H
+#define TRIDENT_CORE_TRIDENTRUNTIME_H
+
+#include "core/PrefetchPlanner.h"
+#include "cpu/SmtCore.h"
+#include "dlt/DelinquentLoadTable.h"
+#include "trident/BranchProfiler.h"
+#include "trident/CodeCache.h"
+#include "trident/CostModel.h"
+#include "trident/Registration.h"
+#include "trident/TraceBuilder.h"
+#include "trident/WatchTable.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace trident {
+
+enum class PrefetchMode : uint8_t {
+  None,          ///< Trident traces only, no software prefetching.
+  Basic,         ///< Prior-work style: per-load stride pf, estimated dist.
+  WholeObject,   ///< + same-object groups and pointer deref, fixed dist.
+  SelfRepairing, ///< + adaptive distance repair (the contribution).
+};
+
+const char *prefetchModeName(PrefetchMode M);
+
+struct RuntimeConfig {
+  PrefetchMode Mode = PrefetchMode::SelfRepairing;
+  /// When false, traces are formed and optimized but never linked — the
+  /// Section 5.1 overhead experiment.
+  bool LinkTraces = true;
+  DltConfig Dlt = DltConfig::baseline();
+  BranchProfilerConfig Profiler;
+  TraceBuilderConfig Builder;
+  OptimizerCostModel Cost;
+  unsigned WatchEntries = 256;
+  /// Hardware context the helper thread runs on.
+  unsigned HelperCtx = 1;
+  /// Memory latency (max-distance numerator, Section 3.5.2).
+  unsigned MemoryLatency = 350;
+  /// L1 hit latency (to derive exposed miss latency for DLT updates).
+  unsigned L1HitLatency = 3;
+  int DistanceCap = 64;
+  unsigned MaxPendingEvents = 16;
+
+  /// Ablation (Section 5.3's "alternate strategy"): seed self-repairing
+  /// groups with the equation-2 estimate instead of distance 1. The paper
+  /// found performance "almost identical" because repair converges fast.
+  bool SelfRepairInitialEstimate = false;
+
+  /// Future-work feature (Section 3.5.2): clear prefetch-mature flags when
+  /// a program phase change is detected (the executing-trace mix shifts),
+  /// so loads whose behaviour changed can be re-optimized.
+  bool ClearMatureOnPhaseChange = false;
+  /// Commits per phase-detection interval.
+  uint64_t PhaseIntervalCommits = 200'000;
+  /// Manhattan distance between successive trace-mix signatures above
+  /// which an interval counts as a phase change (0..2).
+  double PhaseChangeThreshold = 0.5;
+
+  static RuntimeConfig baseline() { return RuntimeConfig(); }
+};
+
+struct RuntimeStats {
+  uint64_t HotTraceEvents = 0;
+  uint64_t TracesInstalled = 0;
+  uint64_t TraceReinstalls = 0;
+  uint64_t DelinquentEvents = 0;
+  uint64_t InsertionOptimizations = 0;
+  uint64_t RepairOptimizations = 0;
+  uint64_t LoadsMatured = 0;
+  uint64_t EventsDropped = 0;
+  uint64_t PrefetchInstructionsPlanned = 0;
+  /// Distance set by the most recent repair (diagnostic).
+  int LastRepairDistance = 0;
+
+  // Figure 4: load-miss coverage.
+  uint64_t LoadMissesTotal = 0;
+  uint64_t LoadMissesInTraces = 0;
+  uint64_t LoadMissesCovered = 0;
+
+  // Figure 6: dynamic-load breakdown (main thread, original loads only).
+  uint64_t LdTotal = 0;
+  uint64_t LdHitNone = 0;
+  uint64_t LdHitPrefetched = 0;
+  uint64_t LdPartial = 0;
+  uint64_t LdMiss = 0;
+  uint64_t LdMissDueToPf = 0;
+
+  uint64_t CommitsTotal = 0;
+  uint64_t CommitsInTraces = 0;
+  uint64_t PhaseChangesDetected = 0;
+  uint64_t MatureFlagsCleared = 0;
+
+  double traceMissCoverage() const {
+    return LoadMissesTotal == 0
+               ? 0.0
+               : double(LoadMissesInTraces) / double(LoadMissesTotal);
+  }
+  double prefetchMissCoverage() const {
+    return LoadMissesTotal == 0
+               ? 0.0
+               : double(LoadMissesCovered) / double(LoadMissesTotal);
+  }
+};
+
+class TridentRuntime final : public CoreListener {
+public:
+  TridentRuntime(const RuntimeConfig &Config, Program &Prog, SmtCore &Core,
+                 CodeCache &CC);
+
+  /// Monitoring and optimization are disabled during warmup (Section 4.2).
+  void setEnabled(bool E) { Enabled = E; }
+  bool enabled() const { return Enabled; }
+
+  // CoreListener interface.
+  void onCommit(unsigned Ctx, Addr PC, const Instruction &I,
+                Cycle Now) override;
+  void onLoad(unsigned Ctx, Addr PC, const Instruction &I, Addr EA,
+              const AccessResult &R, Cycle Now) override;
+  void onBranch(unsigned Ctx, Addr PC, const Instruction &I, bool Taken,
+                Addr Target, Cycle Now) override;
+
+  const RuntimeStats &stats() const { return Stats; }
+  void clearStats() { Stats = RuntimeStats(); }
+
+  const RuntimeConfig &config() const { return Config; }
+  /// The helper-thread registration structure (Section 3.1).
+  const RegistrationStructure &registration() const { return Registration; }
+  const DelinquentLoadTable &dlt() const { return Dlt; }
+  const WatchTable &watchTable() const { return Watch; }
+  const BranchProfiler &profiler() const { return Profiler; }
+  size_t numTraces() const { return Traces.size(); }
+
+  /// Introspection for tests/examples: the plan of the trace rooted at
+  /// \p OrigStart, or nullptr.
+  const PrefetchPlan *planFor(Addr OrigStart) const;
+  /// Current distance of the first repairable group of that trace, or 0.
+  int currentDistanceFor(Addr OrigStart) const;
+
+private:
+  struct TraceMeta {
+    uint32_t Id = 0;
+    Addr OrigStart = 0;
+    std::vector<Instruction> BaseBody;
+    PrefetchPlan Plan;
+    Addr CacheAddr = 0;
+    std::vector<unsigned> OldToNew;      ///< base idx -> installed offset
+    std::vector<Addr> PrefetchSlotAddrs; ///< per Plan.Prefetches entry
+    /// All code-cache regions ever installed for this trace (start, len);
+    /// old regions' closing jumps are re-targeted at the newest head.
+    std::vector<std::pair<Addr, size_t>> Installs;
+    /// Installed load PC -> base-body index (accumulates across installs
+    /// so stale in-flight events still resolve).
+    std::unordered_map<Addr, unsigned> LoadPCToBaseIdx;
+    bool Linked = false;
+  };
+
+  struct Event {
+    enum class Kind : uint8_t { HotTrace, Delinquent } K = Kind::HotTrace;
+    HotTraceCandidate Cand;
+    Addr LoadPC = 0;
+    uint32_t TraceId = 0;
+  };
+
+  void raiseEvent(Event E);
+  void dispatchNext();
+  void startHotTraceWork(const HotTraceCandidate &Cand);
+  void startDelinquentWork(Addr LoadPC, uint32_t TraceId);
+
+  void finishTraceFormation(Trace T);
+  void beginInsertion(TraceMeta &M, Addr TriggerPC);
+  void finishInsertion(uint32_t TraceId, PrefetchPlan NewPlan,
+                       PlanEmission Emission,
+                       std::vector<Addr> ClearPCs);
+  void finishRepair(uint32_t TraceId, unsigned BaseIdx, Addr LoadPC);
+  void finishMature(uint32_t TraceId, Addr LoadPC);
+
+  /// Installs \p Body for \p M (allocating code cache space, repatching the
+  /// entry jump, refreshing the watch table and PC maps).
+  void installBody(TraceMeta &M, const std::vector<Instruction> &Body,
+                   const std::vector<unsigned> &OldToNew,
+                   const std::vector<unsigned> &PatchSlots);
+
+  int estimateDistance(const TraceMeta &M, Addr TriggerPC) const;
+  int maxDistanceFor(const TraceMeta &M) const;
+  void clearOptFlag(uint32_t TraceId);
+
+  /// Phase detection over the executing-trace mix; on a phase change,
+  /// clears mature flags so changed loads can be re-optimized.
+  void accountPhase(Addr PC);
+  void onPhaseChange();
+
+  RuntimeConfig Config;
+  Program &Prog;
+  SmtCore &Core;
+  CodeCache &CC;
+  RegistrationStructure Registration;
+  BinaryPatcher Patcher;
+  BranchProfiler Profiler;
+  TraceBuilder Builder;
+  WatchTable Watch;
+  DelinquentLoadTable Dlt;
+  PrefetchPlanner Planner;
+
+  std::vector<TraceMeta> Traces;
+  std::deque<Event> Pending;
+  RuntimeStats Stats;
+  bool Enabled = false;
+
+  // Per-main-context trace excursion tracking (iteration timing).
+  uint32_t CurTraceId = ~0u;
+  Addr CurHeadAddr = 0;
+  Cycle LastHeadCycle = 0;
+  bool LastHeadValid = false;
+
+  // Phase detection state: commits per trace id this interval vs last.
+  std::vector<uint64_t> PhaseCounts;
+  std::vector<double> PrevPhaseSignature;
+  uint64_t PhaseCommits = 0;
+  uint64_t PhaseOtherCommits = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_CORE_TRIDENTRUNTIME_H

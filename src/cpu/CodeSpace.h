@@ -1,0 +1,32 @@
+//===- CodeSpace.h - Instruction fetch abstraction -------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core fetches decoded instructions through this interface. The
+/// Trident runtime implements it by overlaying the code cache (and its
+/// patched entry jumps) on the original program image, which is how
+/// hot-trace linking becomes visible to the executing thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_CPU_CODESPACE_H
+#define TRIDENT_CPU_CODESPACE_H
+
+#include "isa/Instruction.h"
+
+namespace trident {
+
+class CodeSpace {
+public:
+  virtual ~CodeSpace();
+
+  /// Returns the instruction at \p PC. \p PC must be mapped.
+  virtual const Instruction &fetch(Addr PC) const = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_CPU_CODESPACE_H

@@ -1,0 +1,43 @@
+//===- CoreListener.h - Commit-stream observation hooks --------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation interface the Trident runtime uses to model its hardware
+/// monitoring structures: the branch profiler sees branch commits, the
+/// watch table sees every commit (trace entry/exit timing), and the DLT
+/// sees load commits with their cache outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_CPU_CORELISTENER_H
+#define TRIDENT_CPU_CORELISTENER_H
+
+#include "isa/Instruction.h"
+#include "mem/CacheTypes.h"
+
+namespace trident {
+
+class CoreListener {
+public:
+  virtual ~CoreListener();
+
+  /// Every committed instruction on context \p Ctx.
+  virtual void onCommit(unsigned Ctx, Addr PC, const Instruction &I,
+                        Cycle Now) {}
+
+  /// Committed demand loads (Load/NFLoad), after the memory access.
+  /// \p EA is the effective address, \p R the timed access outcome.
+  virtual void onLoad(unsigned Ctx, Addr PC, const Instruction &I, Addr EA,
+                      const AccessResult &R, Cycle Now) {}
+
+  /// Committed control transfers with the resolved direction.
+  virtual void onBranch(unsigned Ctx, Addr PC, const Instruction &I,
+                        bool Taken, Addr Target, Cycle Now) {}
+};
+
+} // namespace trident
+
+#endif // TRIDENT_CPU_CORELISTENER_H

@@ -1,0 +1,419 @@
+//===- SmtCore.cpp --------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/SmtCore.h"
+
+#include <cassert>
+
+using namespace trident;
+
+CodeSpace::~CodeSpace() = default;
+CoreListener::~CoreListener() = default;
+
+SmtCore::SmtCore(const CoreConfig &Config, CodeSpace &Code, DataMemory &Data,
+                 MemorySystem &Mem)
+    : Config(Config), Code(Code), Data(Data), Mem(Mem) {
+  assert(Config.NumContexts >= 1 && "need at least one context");
+  Ctxs.resize(Config.NumContexts);
+}
+
+void SmtCore::startContext(unsigned Ctx, Addr PC) {
+  assert(Ctx < Ctxs.size() && "context index out of range");
+  Context &C = Ctxs[Ctx];
+  assert(!C.StubMode && "context is running a helper stub");
+  C.Active = true;
+  C.Halted = false;
+  C.PC = PC;
+  C.RegReady.fill(0);
+}
+
+void SmtCore::setReg(unsigned Ctx, unsigned Reg, uint64_t Value) {
+  assert(Ctx < Ctxs.size() && Reg < reg::NumRegs && "bad register write");
+  if (Reg != reg::Zero)
+    Ctxs[Ctx].Regs[Reg] = Value;
+}
+
+uint64_t SmtCore::getReg(unsigned Ctx, unsigned Reg) const {
+  assert(Ctx < Ctxs.size() && Reg < reg::NumRegs && "bad register read");
+  return Reg == reg::Zero ? 0 : Ctxs[Ctx].Regs[Reg];
+}
+
+void SmtCore::startStub(unsigned Ctx, uint64_t Instructions,
+                        Cycle StartupDelay,
+                        std::function<void(Cycle)> OnDone) {
+  assert(Ctx < Ctxs.size() && "context index out of range");
+  Context &C = Ctxs[Ctx];
+  assert(!C.StubMode && "stub already active on this context");
+  assert(!C.Active && "context is running a program");
+  C.StubMode = true;
+  C.StubRemaining = Instructions;
+  C.StubDone = std::move(OnDone);
+  C.FetchStallUntil = Now + StartupDelay;
+  if (Instructions == 0 && StartupDelay == 0) {
+    // Degenerate: completes at the current cycle.
+    C.StubMode = false;
+    if (C.StubDone)
+      PendingStubDone.push_back(std::move(C.StubDone));
+  }
+}
+
+bool SmtCore::stubActive(unsigned Ctx) const {
+  assert(Ctx < Ctxs.size() && "context index out of range");
+  return Ctxs[Ctx].StubMode;
+}
+
+void SmtCore::clearStats() {
+  for (Context &C : Ctxs)
+    C.Stats = ContextStats();
+  HelperBusy = 0;
+}
+
+void SmtCore::writeReg(Context &C, unsigned R, uint64_t V, Cycle Ready) {
+  if (R == reg::Zero)
+    return;
+  C.Regs[R] = V;
+  C.RegReady[R] = Ready;
+}
+
+void SmtCore::purgeRob() {
+  while (!Rob.empty() && Rob.top() <= Now)
+    Rob.pop();
+}
+
+Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
+                                  const Instruction &I, Addr PC,
+                                  Cycle EffNow) {
+  Cycle Done = EffNow + executionLatency(I.Op);
+  Addr NextPC = PC + 1;
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Halt:
+    C.Halted = true;
+    C.Active = false;
+    break;
+
+  case Opcode::Add:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) + readReg(C, I.Rs2), Done);
+    break;
+  case Opcode::Sub:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) - readReg(C, I.Rs2), Done);
+    break;
+  case Opcode::And:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) & readReg(C, I.Rs2), Done);
+    break;
+  case Opcode::Or:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) | readReg(C, I.Rs2), Done);
+    break;
+  case Opcode::Xor:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) ^ readReg(C, I.Rs2), Done);
+    break;
+  case Opcode::Shl:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) << (readReg(C, I.Rs2) & 63), Done);
+    break;
+  case Opcode::Shr:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) >> (readReg(C, I.Rs2) & 63), Done);
+    break;
+  case Opcode::Mul:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) * readReg(C, I.Rs2), Done);
+    break;
+
+  case Opcode::AddI:
+    writeReg(C, I.Rd,
+             readReg(C, I.Rs1) + static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::SubI:
+    writeReg(C, I.Rd,
+             readReg(C, I.Rs1) - static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::AndI:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) & static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::OrI:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) | static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::XorI:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) ^ static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::ShlI:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) << (I.Imm & 63), Done);
+    break;
+  case Opcode::ShrI:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) >> (I.Imm & 63), Done);
+    break;
+  case Opcode::MulI:
+    writeReg(C, I.Rd,
+             readReg(C, I.Rs1) * static_cast<uint64_t>(I.Imm), Done);
+    break;
+
+  case Opcode::LoadImm:
+    writeReg(C, I.Rd, static_cast<uint64_t>(I.Imm), Done);
+    break;
+  case Opcode::Move:
+    writeReg(C, I.Rd, readReg(C, I.Rs1), Done);
+    break;
+
+  // FP ops are modeled as integer adds with FP latency: the experiments
+  // depend on timing, not on FP values.
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    writeReg(C, I.Rd, readReg(C, I.Rs1) + readReg(C, I.Rs2), Done);
+    break;
+
+  case Opcode::Load:
+  case Opcode::NFLoad: {
+    Addr EA = readReg(C, I.Rs1) + static_cast<uint64_t>(I.Imm);
+    uint64_t V = Data.read64(EA);
+    // Synthetic dereference loads access the cache as prefetches: they
+    // warm the hierarchy but are not demand loads of the program.
+    AccessKind Kind =
+        I.Synthetic ? AccessKind::SoftwarePrefetch : AccessKind::DemandLoad;
+    AccessResult R = Mem.access(PC, EA, Kind, EffNow);
+    Done = R.ReadyCycle;
+    writeReg(C, I.Rd, V, Done);
+    if (Listener && !I.Synthetic)
+      Listener->onLoad(CtxIdx, PC, I, EA, R, EffNow);
+    break;
+  }
+  case Opcode::Store: {
+    Addr EA = readReg(C, I.Rs1) + static_cast<uint64_t>(I.Imm);
+    Data.write64(EA, readReg(C, I.Rs2));
+    // Stores retire through the store buffer; the pipeline does not wait
+    // for the fill, but the fill still consumes MSHRs/bus bandwidth.
+    AccessResult R = Mem.access(PC, EA, AccessKind::DemandStore, EffNow);
+    (void)R;
+    Done = EffNow + 1;
+    break;
+  }
+  case Opcode::Prefetch: {
+    Addr EA = readReg(C, I.Rs1) + static_cast<uint64_t>(I.Imm);
+    Mem.access(PC, EA, AccessKind::SoftwarePrefetch, EffNow);
+    Done = EffNow + 1;
+    break;
+  }
+
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge: {
+    int64_t A = static_cast<int64_t>(readReg(C, I.Rs1));
+    int64_t B = static_cast<int64_t>(readReg(C, I.Rs2));
+    bool Taken = false;
+    switch (I.Op) {
+    case Opcode::Beq:
+      Taken = A == B;
+      break;
+    case Opcode::Bne:
+      Taken = A != B;
+      break;
+    case Opcode::Blt:
+      Taken = A < B;
+      break;
+    default:
+      Taken = A >= B;
+      break;
+    }
+    ++C.Stats.BranchesExecuted;
+    bool Predicted = Taken;
+    if (Predictor) {
+      Predicted = Predictor->predict(PC);
+      Predictor->update(PC, Taken);
+    }
+    if (Predicted != Taken) {
+      ++C.Stats.BranchMispredicts;
+      C.FetchStallUntil = Now + Config.MispredictPenalty;
+    }
+    if (Taken)
+      NextPC = static_cast<Addr>(I.Imm);
+    if (Listener)
+      Listener->onBranch(CtxIdx, PC, I, Taken, NextPC, Now);
+    break;
+  }
+  case Opcode::Jump:
+    NextPC = static_cast<Addr>(I.Imm);
+    ++C.Stats.BranchesExecuted;
+    if (Listener)
+      Listener->onBranch(CtxIdx, PC, I, /*Taken=*/true, NextPC, Now);
+    break;
+
+  case Opcode::NumOpcodes:
+    assert(false && "invalid opcode");
+    break;
+  }
+
+  C.PC = NextPC;
+  return Done;
+}
+
+bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
+                       Cycle &Wake) {
+  auto noteWake = [&](Cycle W) {
+    if (W > Now && W < Wake)
+      Wake = W;
+  };
+
+  if (B.Total == 0)
+    return false;
+
+  // Helper stub: dependency-free single-cycle work.
+  if (C.StubMode) {
+    if (C.FetchStallUntil > Now) {
+      noteWake(C.FetchStallUntil);
+      return false;
+    }
+    if (B.Int == 0)
+      return false;
+    --B.Total;
+    --B.Int;
+    if (C.StubRemaining == 0) {
+      // Startup-only stub: nothing left to issue.
+      C.StubMode = false;
+      if (C.StubDone)
+        PendingStubDone.push_back(std::move(C.StubDone));
+      C.StubDone = nullptr;
+      return false;
+    }
+    --C.StubRemaining;
+    ++C.Stats.StubInstructions;
+    ++C.Stats.IssuedTotal;
+    if (C.StubRemaining == 0) {
+      C.StubMode = false;
+      if (C.StubDone)
+        PendingStubDone.push_back(std::move(C.StubDone));
+      C.StubDone = nullptr;
+    }
+    return true;
+  }
+
+  if (!C.Active || C.Halted)
+    return false;
+  if (C.FetchStallUntil > Now) {
+    noteWake(C.FetchStallUntil);
+    return false;
+  }
+
+  const Instruction &I = Code.fetch(C.PC);
+
+  // Structural: per-class issue port.
+  ExecClass EC = execClass(I.Op);
+  unsigned *ClassBudget = nullptr;
+  switch (EC) {
+  case ExecClass::IntAlu:
+  case ExecClass::Branch: // branches share integer issue ports
+  case ExecClass::None:
+    ClassBudget = &B.Int;
+    break;
+  case ExecClass::FpAlu:
+    ClassBudget = &B.Fp;
+    break;
+  case ExecClass::Mem:
+    ClassBudget = &B.Mem;
+    break;
+  }
+  if (*ClassBudget == 0)
+    return false;
+
+  // Data: operands must be ready (in-order issue past this point would
+  // reorder the dependence graph). Exception: *synthetic* instructions
+  // (optimizer-inserted prefetch code) never block the pipeline — an OoO
+  // core lets them wait in the scheduler while younger program
+  // instructions proceed. They issue now and take effect when their
+  // operands arrive (DeferUntil).
+  Cycle OperandReady = 0;
+  if (I.readsRs1())
+    OperandReady = std::max(OperandReady, C.RegReady[I.Rs1]);
+  if (I.readsRs2())
+    OperandReady = std::max(OperandReady, C.RegReady[I.Rs2]);
+  Cycle DeferUntil = Now;
+  if (OperandReady > Now) {
+    if (!I.Synthetic) {
+      noteWake(OperandReady);
+      return false;
+    }
+    DeferUntil = OperandReady;
+  }
+
+  // Capacity: ROB occupancy.
+  purgeRob();
+  if (robFull()) {
+    noteWake(robEarliest());
+    return false;
+  }
+
+  --B.Total;
+  --*ClassBudget;
+
+  Addr PC = C.PC;
+  Cycle Done = executeInstruction(CtxIdx, C, I, PC, DeferUntil);
+  Rob.push(Done);
+
+  ++C.Stats.IssuedTotal;
+  if (!I.Synthetic)
+    C.Stats.CommittedOriginal += 1 + I.ExtraCommits;
+  if (Listener)
+    Listener->onCommit(CtxIdx, PC, I, Now);
+  return true;
+}
+
+SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
+  Context &Main = Ctxs[0];
+  const uint64_t Goal = Main.Stats.CommittedOriginal + TargetCommits;
+
+  while (true) {
+    if (Main.Stats.CommittedOriginal >= Goal)
+      return StopReason::CommitTarget;
+    if (Main.Halted)
+      return StopReason::Halted;
+    if (Now >= CycleLimit)
+      return StopReason::CycleLimit;
+
+    IssueBudget B{Config.IssueWidth, Config.IntIssueLimit, Config.FpIssueLimit,
+                  Config.MemIssueLimit};
+    Cycle Wake = ~static_cast<Cycle>(0);
+    bool AnyIssued = false;
+    bool AnyStub = false;
+
+    // Context 0 (the program) has priority; helper contexts take leftovers.
+    for (unsigned CtxIdx = 0; CtxIdx < Ctxs.size(); ++CtxIdx) {
+      Context &C = Ctxs[CtxIdx];
+      AnyStub |= C.StubMode;
+      while (tryIssue(CtxIdx, C, B, Wake)) {
+        AnyIssued = true;
+        if (CtxIdx == 0 && Main.Stats.CommittedOriginal >= Goal)
+          break;
+      }
+      AnyStub |= C.StubMode;
+    }
+
+    // Fire stub completions outside the issue loop (they may patch code or
+    // start new stubs).
+    if (!PendingStubDone.empty()) {
+      std::vector<std::function<void(Cycle)>> Done;
+      Done.swap(PendingStubDone);
+      for (auto &F : Done)
+        F(Now);
+      AnyStub = true; // completion cycle counts as helper activity
+    }
+
+    // Advance time. When nothing could issue, skip directly to the next
+    // wake-up point (long miss stalls simulate in O(1)).
+    Cycle Prev = Now;
+    if (AnyIssued) {
+      ++Now;
+    } else {
+      if (Wake == ~static_cast<Cycle>(0)) {
+        // Nothing will ever wake this machine up (e.g. all contexts
+        // halted); report a halt to the caller.
+        return StopReason::Halted;
+      }
+      Now = Wake;
+    }
+    if (AnyStub)
+      HelperBusy += Now - Prev;
+  }
+}

@@ -1,0 +1,170 @@
+//===- SmtCore.h - Two-context SMT timing model ----------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline processor of Table 1: a 4-wide SMT core with two hardware
+/// contexts, a 256-entry ROB, per-class issue limits (4 int / 2 FP / 2
+/// mem), a 20-stage pipeline (modeled as the branch misprediction redirect
+/// penalty), and non-blocking caches.
+///
+/// Timing model (documented substitution, see DESIGN.md): per-context
+/// in-order issue gated by a register scoreboard; loads do not block until
+/// a dependent instruction needs the value, so independent misses overlap
+/// up to the MSHR and ROB limits. Context 0 (the main program) has issue
+/// priority; context 1 runs the Trident helper thread, modeled as a
+/// *work stub* — a stream of single-cycle instructions whose length comes
+/// from the optimizer cost model — so optimization steals real issue
+/// bandwidth and shows up in overhead measurements (Fig. 3, Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_CPU_SMTCORE_H
+#define TRIDENT_CPU_SMTCORE_H
+
+#include "branch/BranchPredictor.h"
+#include "cpu/CodeSpace.h"
+#include "cpu/CoreListener.h"
+#include "mem/DataMemory.h"
+#include "mem/MemorySystem.h"
+
+#include <array>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace trident {
+
+struct CoreConfig {
+  unsigned IssueWidth = 4;
+  unsigned RobSize = 256;
+  unsigned IntIssueLimit = 4;
+  unsigned FpIssueLimit = 2;
+  unsigned MemIssueLimit = 2;
+  /// Redirect penalty on a branch misprediction (20-stage pipeline).
+  unsigned MispredictPenalty = 20;
+  unsigned NumContexts = 2;
+
+  static CoreConfig baseline() { return CoreConfig(); }
+};
+
+/// Per-context execution statistics.
+struct ContextStats {
+  /// Committed instructions of the *original* program (Synthetic excluded),
+  /// the numerator of reported IPC (Section 4.1).
+  uint64_t CommittedOriginal = 0;
+  /// All issued instructions, including optimizer-inserted ones.
+  uint64_t IssuedTotal = 0;
+  uint64_t BranchesExecuted = 0;
+  uint64_t BranchMispredicts = 0;
+  uint64_t StubInstructions = 0;
+};
+
+class SmtCore {
+public:
+  /// Why a run() call returned.
+  enum class StopReason { CommitTarget, Halted, CycleLimit };
+
+  SmtCore(const CoreConfig &Config, CodeSpace &Code, DataMemory &Data,
+          MemorySystem &Mem);
+
+  /// Optional branch predictor; without one, branches are oracle-predicted.
+  void setBranchPredictor(BranchPredictor *BP) { Predictor = BP; }
+  /// Optional commit-stream observer (the Trident runtime).
+  void setListener(CoreListener *L) { Listener = L; }
+
+  /// Begins executing the program context \p Ctx at \p PC.
+  void startContext(unsigned Ctx, Addr PC);
+
+  /// Writes a register of context \p Ctx (workload setup).
+  void setReg(unsigned Ctx, unsigned Reg, uint64_t Value);
+  uint64_t getReg(unsigned Ctx, unsigned Reg) const;
+
+  /// Runs the helper-thread stub on \p Ctx: after \p StartupDelay cycles
+  /// (the paper charges 2000 cycles to spawn the helper thread,
+  /// Section 4.3), \p Instructions single-cycle operations issue at lower
+  /// priority; \p OnDone fires at the cycle the stub finishes. Only one
+  /// stub may be active per context.
+  void startStub(unsigned Ctx, uint64_t Instructions, Cycle StartupDelay,
+                 std::function<void(Cycle)> OnDone);
+  bool stubActive(unsigned Ctx) const;
+
+  /// Advances simulation until context 0 has committed \p TargetCommits
+  /// more original instructions, halts, or \p CycleLimit elapses.
+  StopReason run(uint64_t TargetCommits,
+                 Cycle CycleLimit = ~static_cast<Cycle>(0));
+
+  Cycle now() const { return Now; }
+  bool halted(unsigned Ctx) const { return Ctxs[Ctx].Halted; }
+  Addr pc(unsigned Ctx) const { return Ctxs[Ctx].PC; }
+  const ContextStats &stats(unsigned Ctx) const { return Ctxs[Ctx].Stats; }
+  /// Cycles during which the helper context had stub work outstanding.
+  Cycle helperBusyCycles() const { return HelperBusy; }
+
+  /// Clears statistics (after warmup) without touching machine state.
+  void clearStats();
+
+private:
+  struct Context {
+    bool Active = false;
+    bool Halted = false;
+    Addr PC = 0;
+    std::array<uint64_t, reg::NumRegs> Regs{};
+    std::array<Cycle, reg::NumRegs> RegReady{};
+    Cycle FetchStallUntil = 0;
+    // Helper-stub state.
+    bool StubMode = false;
+    uint64_t StubRemaining = 0;
+    std::function<void(Cycle)> StubDone;
+    ContextStats Stats;
+  };
+
+  /// Per-cycle issue budgets.
+  struct IssueBudget {
+    unsigned Total;
+    unsigned Int;
+    unsigned Fp;
+    unsigned Mem;
+  };
+
+  /// Attempts to issue the next instruction of \p C; returns true if one
+  /// issued. On a structural/data stall, records the wake-up time in
+  /// \p Wake (the earliest cycle the context could progress).
+  bool tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B, Cycle &Wake);
+
+  /// Executes \p I functionally and computes timing; returns completion.
+  /// \p EffNow is the cycle the instruction's effects take place — equal to
+  /// the issue cycle except for deferred synthetic prefetch code.
+  Cycle executeInstruction(unsigned CtxIdx, Context &C, const Instruction &I,
+                           Addr PC, Cycle EffNow);
+
+  uint64_t readReg(const Context &C, unsigned R) const {
+    return R == reg::Zero ? 0 : C.Regs[R];
+  }
+  void writeReg(Context &C, unsigned R, uint64_t V, Cycle Ready);
+
+  void purgeRob();
+  bool robFull() const { return Rob.size() >= Config.RobSize; }
+  Cycle robEarliest() const { return Rob.top(); }
+
+  CoreConfig Config;
+  CodeSpace &Code;
+  DataMemory &Data;
+  MemorySystem &Mem;
+  BranchPredictor *Predictor = nullptr;
+  CoreListener *Listener = nullptr;
+
+  std::vector<Context> Ctxs;
+  Cycle Now = 0;
+  Cycle HelperBusy = 0;
+  // Completion times of in-flight instructions (min-heap).
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>> Rob;
+  // Stub completions to fire after the current cycle's issue loop.
+  std::vector<std::function<void(Cycle)>> PendingStubDone;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_CPU_SMTCORE_H

@@ -1,0 +1,214 @@
+//===- DelinquentLoadTable.cpp --------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dlt/DelinquentLoadTable.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace trident;
+
+static bool dltDebugEnabled() {
+  static const bool E = [] {
+    const char *V = std::getenv("TRIDENT_DEBUG_DLT");
+    return V && *V && *V != '0';
+  }();
+  return E;
+}
+
+static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
+
+DelinquentLoadTable::DelinquentLoadTable(const DltConfig &Config)
+    : Config(Config), NumSets(Config.NumEntries / Config.Assoc) {
+  assert(Config.Assoc >= 1 && Config.NumEntries % Config.Assoc == 0 &&
+         "entries must divide evenly into sets");
+  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
+  assert(Config.MissThreshold <= Config.MonitorWindow &&
+         "miss threshold cannot exceed the window");
+  Entries.resize(Config.NumEntries);
+}
+
+DelinquentLoadTable::Entry *DelinquentLoadTable::find(Addr PC) {
+  size_t Base = setIndex(PC) * Config.Assoc;
+  for (unsigned W = 0; W < Config.Assoc; ++W) {
+    Entry &E = Entries[Base + W];
+    if (E.Valid && E.Tag == PC)
+      return &E;
+  }
+  return nullptr;
+}
+
+const DelinquentLoadTable::Entry *DelinquentLoadTable::find(Addr PC) const {
+  return const_cast<DelinquentLoadTable *>(this)->find(PC);
+}
+
+DelinquentLoadTable::Entry &DelinquentLoadTable::findOrAllocate(Addr PC) {
+  if (Entry *E = find(PC)) {
+    E->LastUse = ++UseClock;
+    return *E;
+  }
+  size_t Base = setIndex(PC) * Config.Assoc;
+  Entry *Victim = &Entries[Base];
+  for (unsigned W = 0; W < Config.Assoc; ++W) {
+    Entry &E = Entries[Base + W];
+    if (!E.Valid) {
+      Victim = &E;
+      break;
+    }
+    if (E.LastUse < Victim->LastUse)
+      Victim = &E;
+  }
+  if (Victim->Valid)
+    ++Stats.Replacements;
+  *Victim = Entry();
+  Victim->Valid = true;
+  Victim->Tag = PC;
+  Victim->LastUse = ++UseClock;
+  return *Victim;
+}
+
+bool DelinquentLoadTable::meetsDelinquencyCriteria(const Entry &E) const {
+  if (E.Misses < Config.MissThreshold)
+    return false;
+  double AvgMissLat = static_cast<double>(E.TotalMissLatency) / E.Misses;
+  return AvgMissLat > static_cast<double>(Config.LatencyThreshold);
+}
+
+bool DelinquentLoadTable::update(Addr LoadPC, Addr EffectiveAddr, bool Miss,
+                                 unsigned MissLatency) {
+  ++Stats.Updates;
+  Entry &E = findOrAllocate(LoadPC);
+
+  // Stride prediction state updates on *every* committed instance of the
+  // load, independent of the window counters (Section 3.3).
+  if (E.HaveLastAddr) {
+    int64_t NewStride = static_cast<int64_t>(EffectiveAddr) -
+                        static_cast<int64_t>(E.LastAddr);
+    if (NewStride == E.Stride)
+      E.StrideConf.add(1);
+    else
+      E.StrideConf.add(-7);
+    E.Stride = NewStride;
+  }
+  E.LastAddr = EffectiveAddr;
+  E.HaveLastAddr = true;
+
+  if (E.Frozen)
+    return false; // Waiting for the helper thread to clear the window.
+
+  ++E.Accesses;
+  if (Miss) {
+    ++E.Misses;
+    E.TotalMissLatency += MissLatency;
+  }
+
+  // Early exit inside the window: the miss counter can only be judged at
+  // the window boundary (miss *rate* needs the full denominator).
+  if (E.Accesses < Config.MonitorWindow)
+    return false;
+
+  ++Stats.WindowsCompleted;
+  if (dltDebugEnabled())
+    std::fprintf(stderr,
+                 "[dlt] window pc=0x%llx misses=%u avg=%.1f mature=%d -> %s\n",
+                 (unsigned long long)LoadPC, E.Misses,
+                 E.Misses ? double(E.TotalMissLatency) / E.Misses : 0.0,
+                 E.Mature,
+                 (!E.Mature && meetsDelinquencyCriteria(E)) ? "EVENT" : "reset");
+  if (!E.Mature && meetsDelinquencyCriteria(E)) {
+    // Delinquent: freeze the counters (the helper thread reads and then
+    // clears them) and raise the event.
+    E.Frozen = true;
+    ++Stats.Events;
+    return true;
+  }
+
+  // Not delinquent (or mature): reset and keep monitoring.
+  E.Accesses = 0;
+  E.Misses = 0;
+  E.TotalMissLatency = 0;
+  return false;
+}
+
+std::optional<DltSnapshot> DelinquentLoadTable::lookup(Addr LoadPC) const {
+  const Entry *E = find(LoadPC);
+  if (!E)
+    return std::nullopt;
+  DltSnapshot S;
+  S.LoadPC = LoadPC;
+  S.Accesses = E->Accesses;
+  S.Misses = E->Misses;
+  S.TotalMissLatency = E->TotalMissLatency;
+  S.Stride = E->Stride;
+  S.StridePredictable = E->StrideConf.value() >= Config.StrideConfidentAt;
+  S.Mature = E->Mature;
+  return S;
+}
+
+bool DelinquentLoadTable::isDelinquent(Addr LoadPC) const {
+  const Entry *E = find(LoadPC);
+  if (!E || E->Mature)
+    return false;
+  if (E->Misses == 0)
+    return false;
+  double AvgMissLat = static_cast<double>(E->TotalMissLatency) / E->Misses;
+  if (AvgMissLat <= static_cast<double>(Config.LatencyThreshold))
+    return false;
+  // Partial-window scaling (Section 3.4.1): judge the miss *rate* using
+  // the accesses seen so far rather than the full window.
+  if (E->Accesses >= Config.MonitorWindow)
+    return E->Misses >= Config.MissThreshold;
+  double RateThreshold = static_cast<double>(Config.MissThreshold) /
+                         static_cast<double>(Config.MonitorWindow);
+  // Require a minimum sample so one early miss does not classify.
+  if (E->Accesses < Config.MonitorWindow / 8)
+    return false;
+  return static_cast<double>(E->Misses) / E->Accesses >= RateThreshold;
+}
+
+void DelinquentLoadTable::clearWindow(Addr LoadPC) {
+  Entry *E = find(LoadPC);
+  if (!E)
+    return;
+  E->Accesses = 0;
+  E->Misses = 0;
+  E->TotalMissLatency = 0;
+  E->Frozen = false;
+}
+
+void DelinquentLoadTable::forceMature(Addr LoadPC) {
+  Entry &E = findOrAllocate(LoadPC);
+  E.Mature = true;
+  E.Accesses = 0;
+  E.Misses = 0;
+  E.TotalMissLatency = 0;
+  E.Frozen = false;
+}
+
+uint64_t DelinquentLoadTable::clearAllMature() {
+  uint64_t N = 0;
+  for (Entry &E : Entries) {
+    if (E.Valid && E.Mature) {
+      E.Mature = false;
+      ++N;
+    }
+  }
+  return N;
+}
+
+void DelinquentLoadTable::setMature(Addr LoadPC, bool Mature) {
+  Entry *E = find(LoadPC);
+  if (!E)
+    return;
+  E->Mature = Mature;
+  if (Mature) {
+    E->Accesses = 0;
+    E->Misses = 0;
+    E->TotalMissLatency = 0;
+    E->Frozen = false;
+  }
+}

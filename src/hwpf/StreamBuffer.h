@@ -1,0 +1,105 @@
+//===- StreamBuffer.h - Predictor-directed stream buffers ------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline hardware prefetcher: N stream buffers of D entries each,
+/// allocated on confident stride-predictor entries and advanced by the
+/// predicted stride (Sherwood et al., "Predictor-Directed Stream Buffers",
+/// MICRO 2000 — the paper's reference [27]). The paper evaluates 4x4 and
+/// 8x8 configurations and adopts 8x8 as the baseline (Figure 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_HWPF_STREAMBUFFER_H
+#define TRIDENT_HWPF_STREAMBUFFER_H
+
+#include "hwpf/StridePredictor.h"
+#include "mem/MemorySystem.h"
+
+#include <deque>
+#include <vector>
+
+namespace trident {
+
+struct StreamBufferConfig {
+  unsigned NumBuffers = 8;
+  unsigned Depth = 8;
+  unsigned HistoryEntries = 1024;
+  /// Minimum accesses with a stable stride before a buffer is allocated
+  /// (confidence-based allocation).
+  bool RequireConfidence = true;
+  /// Stop prefetching at page boundaries (classic stream-buffer
+  /// behaviour; enabled together with the TLB model).
+  bool StopAtPageBoundary = false;
+  unsigned PageBits = 12;
+
+  static StreamBufferConfig config4x4() { return {4, 4, 1024, true}; }
+  static StreamBufferConfig config8x8() { return {8, 8, 1024, true}; }
+};
+
+/// Statistics for the stream-buffer unit.
+struct StreamBufferStats {
+  uint64_t Allocations = 0;
+  uint64_t ProbeHits = 0;
+  uint64_t ProbeMisses = 0;
+  uint64_t LinesPrefetched = 0;
+};
+
+class StreamBufferUnit final : public HwPrefetcher {
+public:
+  explicit StreamBufferUnit(const StreamBufferConfig &Config);
+
+  // HwPrefetcher interface.
+  void trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
+                   MemoryBackend &BE) override;
+  std::optional<Cycle> probe(Addr LineAddr, Cycle Now,
+                             MemoryBackend &BE) override;
+  std::string name() const override;
+
+  const StreamBufferConfig &config() const { return Config; }
+  const StreamBufferStats &stats() const { return Stats; }
+  const StridePredictor &predictor() const { return Predictor; }
+
+  /// Number of currently allocated (valid) buffers — for tests.
+  unsigned numActiveBuffers() const;
+
+private:
+  /// Fills a buffer may launch per refill call (gradual ramp).
+  static constexpr unsigned MaxFetchesPerRefill = 2;
+
+  struct Entry {
+    Addr LineAddr = 0;
+    Cycle Ready = 0;
+  };
+
+  struct Buffer {
+    bool Valid = false;
+    /// Page the stream was (re)primed in, for the page-boundary stop.
+    uint64_t PrimeVpn = 0;
+    /// Next byte address the stream will prefetch.
+    Addr NextAddr = 0;
+    int64_t Stride = 0;
+    Addr AllocPC = 0;
+    uint64_t LastUse = 0;
+    std::deque<Entry> Entries;
+  };
+
+  /// Tops \p B up to Depth entries, issuing fills through \p BE.
+  void refill(Buffer &B, Cycle Now, MemoryBackend &BE);
+
+  /// True if some buffer already streams over \p LineAddr with \p Stride.
+  bool coveredByExistingStream(Addr LineAddr) const;
+
+  StreamBufferConfig Config;
+  StridePredictor Predictor;
+  std::vector<Buffer> Buffers;
+  StreamBufferStats Stats;
+  uint64_t UseClock = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_HWPF_STREAMBUFFER_H

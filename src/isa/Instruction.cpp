@@ -1,0 +1,164 @@
+//===- Instruction.cpp ----------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace trident;
+
+std::string trident::toString(const Instruction &I) {
+  char Buf[128];
+  const char *Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+    std::snprintf(Buf, sizeof(Buf), "%s", Name);
+    break;
+  case Opcode::LoadImm:
+    std::snprintf(Buf, sizeof(Buf), "%s r%u, %lld", Name, I.Rd,
+                  static_cast<long long>(I.Imm));
+    break;
+  case Opcode::Move:
+    std::snprintf(Buf, sizeof(Buf), "%s r%u, r%u", Name, I.Rd, I.Rs1);
+    break;
+  case Opcode::Load:
+  case Opcode::NFLoad:
+    std::snprintf(Buf, sizeof(Buf), "%s r%u, %lld(r%u)", Name, I.Rd,
+                  static_cast<long long>(I.Imm), I.Rs1);
+    break;
+  case Opcode::Store:
+    std::snprintf(Buf, sizeof(Buf), "%s %lld(r%u), r%u", Name,
+                  static_cast<long long>(I.Imm), I.Rs1, I.Rs2);
+    break;
+  case Opcode::Prefetch:
+    std::snprintf(Buf, sizeof(Buf), "%s %lld(r%u)", Name,
+                  static_cast<long long>(I.Imm), I.Rs1);
+    break;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    std::snprintf(Buf, sizeof(Buf), "%s r%u, r%u, 0x%llx", Name, I.Rs1, I.Rs2,
+                  static_cast<unsigned long long>(I.Imm));
+    break;
+  case Opcode::Jump:
+    std::snprintf(Buf, sizeof(Buf), "%s 0x%llx", Name,
+                  static_cast<unsigned long long>(I.Imm));
+    break;
+  default:
+    if (readsRs2(I.Op))
+      std::snprintf(Buf, sizeof(Buf), "%s r%u, r%u, r%u", Name, I.Rd, I.Rs1,
+                    I.Rs2);
+    else
+      std::snprintf(Buf, sizeof(Buf), "%s r%u, r%u, %lld", Name, I.Rd, I.Rs1,
+                    static_cast<long long>(I.Imm));
+    break;
+  }
+  std::string S(Buf);
+  if (I.Synthetic)
+    S += "  ; <synthetic>";
+  return S;
+}
+
+Instruction trident::makeNop() { return Instruction(); }
+
+Instruction trident::makeHalt() {
+  Instruction I;
+  I.Op = Opcode::Halt;
+  return I;
+}
+
+Instruction trident::makeAlu(Opcode Op, unsigned Rd, unsigned Rs1,
+                             unsigned Rs2) {
+  assert(execClass(Op) != ExecClass::Mem && readsRs2(Op) &&
+         "not a reg-reg ALU opcode");
+  Instruction I;
+  I.Op = Op;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Rs2 = static_cast<uint8_t>(Rs2);
+  return I;
+}
+
+Instruction trident::makeAluImm(Opcode Op, unsigned Rd, unsigned Rs1,
+                                int64_t Imm) {
+  assert(!readsRs2(Op) && writesRd(Op) && "not a reg-imm ALU opcode");
+  Instruction I;
+  I.Op = Op;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction trident::makeLoadImm(unsigned Rd, int64_t Imm) {
+  Instruction I;
+  I.Op = Opcode::LoadImm;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction trident::makeMove(unsigned Rd, unsigned Rs1) {
+  Instruction I;
+  I.Op = Opcode::Move;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  return I;
+}
+
+Instruction trident::makeLoad(unsigned Rd, unsigned Base, int64_t Offset) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Rd = static_cast<uint8_t>(Rd);
+  I.Rs1 = static_cast<uint8_t>(Base);
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction trident::makeNFLoad(unsigned Rd, unsigned Base, int64_t Offset) {
+  Instruction I = makeLoad(Rd, Base, Offset);
+  I.Op = Opcode::NFLoad;
+  return I;
+}
+
+Instruction trident::makeStore(unsigned Base, int64_t Offset,
+                               unsigned ValueReg) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.Rs1 = static_cast<uint8_t>(Base);
+  I.Rs2 = static_cast<uint8_t>(ValueReg);
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction trident::makePrefetch(unsigned Base, int64_t Offset) {
+  Instruction I;
+  I.Op = Opcode::Prefetch;
+  I.Rs1 = static_cast<uint8_t>(Base);
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction trident::makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                                Addr Target) {
+  assert(isConditionalBranch(Op) && "not a conditional branch");
+  Instruction I;
+  I.Op = Op;
+  I.Rs1 = static_cast<uint8_t>(Rs1);
+  I.Rs2 = static_cast<uint8_t>(Rs2);
+  I.Imm = static_cast<int64_t>(Target);
+  return I;
+}
+
+Instruction trident::makeJump(Addr Target) {
+  Instruction I;
+  I.Op = Opcode::Jump;
+  I.Imm = static_cast<int64_t>(Target);
+  return I;
+}

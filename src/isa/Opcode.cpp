@@ -1,0 +1,195 @@
+//===- Opcode.cpp ---------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+
+using namespace trident;
+
+const char *trident::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::SubI:
+    return "subi";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::OrI:
+    return "ori";
+  case Opcode::XorI:
+    return "xori";
+  case Opcode::ShlI:
+    return "shli";
+  case Opcode::ShrI:
+    return "shri";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::LoadImm:
+    return "ldi";
+  case Opcode::Move:
+    return "move";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::Load:
+    return "ld";
+  case Opcode::Store:
+    return "st";
+  case Opcode::NFLoad:
+    return "nfld";
+  case Opcode::Prefetch:
+    return "pf";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blt:
+    return "blt";
+  case Opcode::Bge:
+    return "bge";
+  case Opcode::Jump:
+    return "jmp";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  assert(false && "invalid opcode");
+  return "<bad>";
+}
+
+ExecClass trident::execClass(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return ExecClass::None;
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return ExecClass::FpAlu;
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::NFLoad:
+  case Opcode::Prefetch:
+    return ExecClass::Mem;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jump:
+    return ExecClass::Branch;
+  default:
+    return ExecClass::IntAlu;
+  }
+}
+
+unsigned trident::executionLatency(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+  case Opcode::MulI:
+    return 3;
+  case Opcode::FAdd:
+  case Opcode::FMul:
+    return 4;
+  case Opcode::FDiv:
+    return 12;
+  default:
+    return 1;
+  }
+}
+
+bool trident::isLoad(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::NFLoad;
+}
+
+bool trident::isMemAccess(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::NFLoad ||
+         Op == Opcode::Prefetch;
+}
+
+bool trident::isConditionalBranch(Opcode Op) {
+  return Op == Opcode::Beq || Op == Opcode::Bne || Op == Opcode::Blt ||
+         Op == Opcode::Bge;
+}
+
+bool trident::isBranch(Opcode Op) {
+  return isConditionalBranch(Op) || Op == Opcode::Jump;
+}
+
+bool trident::writesRd(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Store:
+  case Opcode::Prefetch:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jump:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool trident::readsRs1(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::LoadImm:
+  case Opcode::Jump:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool trident::readsRs2(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Mul:
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::Store: // Rs2 is the stored value.
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return true;
+  default:
+    return false;
+  }
+}

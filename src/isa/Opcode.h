@@ -1,0 +1,128 @@
+//===- Opcode.h - Instruction opcodes and traits ---------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the simulated machine. It is a small Alpha-like
+/// RISC ISA: 32 general registers, loads/stores with register+immediate
+/// addressing, conditional branches, and the two instructions the paper's
+/// optimizer inserts — a software \c Prefetch and a non-faulting load
+/// (\c NFLoad, Section 3.4.3). \c Move exists because Trident's base
+/// optimizer converts store/load pairs into a MOVE (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_ISA_OPCODE_H
+#define TRIDENT_ISA_OPCODE_H
+
+#include <cstdint>
+
+namespace trident {
+
+enum class Opcode : uint8_t {
+  Nop,
+  Halt, ///< Stops the context; programs end with Halt.
+
+  // Integer ALU, register-register.
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Mul,
+
+  // Integer ALU, register-immediate (Rs2 unused).
+  AddI,
+  SubI,
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  ShrI,
+  MulI,
+
+  LoadImm, ///< Rd = Imm (64-bit immediate materialization).
+  Move,    ///< Rd = Rs1.
+
+  // Floating point (modeled on the integer register file with FP latencies;
+  // the memory-system experiments do not depend on a separate FP file).
+  FAdd,
+  FMul,
+  FDiv,
+
+  // Memory.
+  Load,     ///< Rd = mem64[Rs1 + Imm].
+  Store,    ///< mem64[Rs1 + Imm] = Rs2.
+  NFLoad,   ///< Non-faulting load; never traps (optimizer-inserted).
+  Prefetch, ///< Hints the cache to fetch line of (Rs1 + Imm); no writeback.
+
+  // Control flow. Conditional branches compare Rs1 against Rs2 and jump to
+  // the absolute instruction address in Imm when the condition holds.
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Jump, ///< Unconditional jump to Imm.
+
+  NumOpcodes
+};
+
+/// Functional-unit class an instruction issues to; used for per-cycle issue
+/// limits (Table 1: up to 4 integer, 2 FP, 2 loads/stores per cycle).
+enum class ExecClass : uint8_t {
+  IntAlu,
+  FpAlu,
+  Mem,
+  Branch,
+  None, ///< Nop/Halt.
+};
+
+/// Returns the mnemonic (e.g. "addi").
+const char *opcodeName(Opcode Op);
+
+/// Returns the functional-unit class for \p Op.
+ExecClass execClass(Opcode Op);
+
+/// Fixed execution latency in cycles for non-memory instructions; loads and
+/// stores get their latency from the memory hierarchy instead.
+unsigned executionLatency(Opcode Op);
+
+/// True for Load and NFLoad (instructions that read data memory into Rd).
+bool isLoad(Opcode Op);
+
+/// True for any instruction that computes a data memory address
+/// (Load, NFLoad, Store, Prefetch).
+bool isMemAccess(Opcode Op);
+
+/// True for conditional branches (Beq..Bge).
+bool isConditionalBranch(Opcode Op);
+
+/// True for any control transfer (conditional branches and Jump).
+bool isBranch(Opcode Op);
+
+/// True if the instruction writes register Rd.
+bool writesRd(Opcode Op);
+
+/// True if the instruction reads register Rs1.
+bool readsRs1(Opcode Op);
+
+/// True if the instruction reads register Rs2.
+bool readsRs2(Opcode Op);
+
+namespace reg {
+/// Register conventions. R0 is hardwired to zero. The top three registers
+/// are reserved as optimizer scratch: trace re-optimization may clobber them
+/// when materializing pointer prefetches, so workload programs must not use
+/// them (mirrors Alpha AT/temporaries being reserved for the runtime).
+constexpr unsigned Zero = 0;
+constexpr unsigned FirstScratch = 29;
+constexpr unsigned NumRegs = 32;
+} // namespace reg
+
+} // namespace trident
+
+#endif // TRIDENT_ISA_OPCODE_H

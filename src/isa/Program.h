@@ -1,0 +1,64 @@
+//===- Program.h - A loaded program image ----------------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A program is a contiguous run of decoded instructions at a base address.
+/// Trident patches the *original binary* in place to redirect execution into
+/// hot traces (Section 3.2, "Linking Trace"), so instructions are mutable
+/// and the original image can be restored per-address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_ISA_PROGRAM_H
+#define TRIDENT_ISA_PROGRAM_H
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace trident {
+
+class Program {
+public:
+  Program() = default;
+  Program(Addr BasePC, std::vector<Instruction> Code, Addr EntryPC)
+      : BasePC(BasePC), EntryPC(EntryPC), Code(std::move(Code)) {
+    assert(EntryPC >= BasePC && EntryPC < BasePC + this->Code.size() &&
+           "entry PC outside program");
+  }
+
+  Addr basePC() const { return BasePC; }
+  Addr entryPC() const { return EntryPC; }
+  Addr endPC() const { return BasePC + Code.size(); }
+  size_t size() const { return Code.size(); }
+
+  bool contains(Addr PC) const { return PC >= BasePC && PC < endPC(); }
+
+  const Instruction &at(Addr PC) const {
+    assert(contains(PC) && "PC outside program");
+    return Code[PC - BasePC];
+  }
+
+  Instruction &at(Addr PC) {
+    assert(contains(PC) && "PC outside program");
+    return Code[PC - BasePC];
+  }
+
+  /// Full-image listing, one "PC: instruction" line each; for debugging and
+  /// the examples.
+  std::string disassemble() const;
+
+private:
+  Addr BasePC = 0;
+  Addr EntryPC = 0;
+  std::vector<Instruction> Code;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_ISA_PROGRAM_H

@@ -1,0 +1,69 @@
+//===- ProgramBuilder.cpp -------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ProgramBuilder.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace trident;
+
+std::string Program::disassemble() const {
+  std::string Out;
+  char Buf[32];
+  for (Addr PC = BasePC; PC < endPC(); ++PC) {
+    std::snprintf(Buf, sizeof(Buf), "0x%llx: ",
+                  static_cast<unsigned long long>(PC));
+    Out += Buf;
+    Out += toString(at(PC));
+    Out += '\n';
+  }
+  return Out;
+}
+
+ProgramBuilder &ProgramBuilder::label(const std::string &Name) {
+  assert(!Labels.count(Name) && "label redefined");
+  Labels[Name] = here();
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::emit(Instruction I) {
+  Code.push_back(I);
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::branch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                                       const std::string &Label) {
+  Fixups.emplace_back(Code.size(), Label);
+  return emit(makeBranch(Op, Rs1, Rs2, /*Target=*/0));
+}
+
+ProgramBuilder &ProgramBuilder::jump(const std::string &Label) {
+  Fixups.emplace_back(Code.size(), Label);
+  return emit(makeJump(/*Target=*/0));
+}
+
+ProgramBuilder &ProgramBuilder::entryHere() {
+  EntryPC = here();
+  EntrySet = true;
+  return *this;
+}
+
+Program ProgramBuilder::finish() {
+  for (const auto &[Index, Label] : Fixups) {
+    auto It = Labels.find(Label);
+    assert(It != Labels.end() && "reference to undefined label");
+    Code[Index].Imm = static_cast<int64_t>(It->second);
+  }
+  assert(!Code.empty() && "empty program");
+  Addr Entry = EntrySet ? EntryPC : BasePC;
+  Program P(BasePC, std::move(Code), Entry);
+  Code.clear();
+  Labels.clear();
+  Fixups.clear();
+  EntrySet = false;
+  return P;
+}

@@ -1,0 +1,112 @@
+//===- ProgramBuilder.h - Label-resolving assembler ------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent assembler for building simulated programs: emit instructions,
+/// define labels, branch to labels (forward references are fixed up at
+/// finish()). Used by the workload generators, the examples, and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_ISA_PROGRAMBUILDER_H
+#define TRIDENT_ISA_PROGRAMBUILDER_H
+
+#include "isa/Program.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trident {
+
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(Addr BasePC = 0x1000) : BasePC(BasePC) {}
+
+  /// Defines \p Name at the current emission point. A label may be defined
+  /// once and referenced any number of times, before or after definition.
+  ProgramBuilder &label(const std::string &Name);
+
+  /// Address the next emitted instruction will get.
+  Addr here() const { return BasePC + Code.size(); }
+
+  /// Emits an arbitrary pre-built instruction.
+  ProgramBuilder &emit(Instruction I);
+
+  // Convenience emitters (thin wrappers over the isa factory helpers).
+  ProgramBuilder &nop() { return emit(makeNop()); }
+  ProgramBuilder &halt() { return emit(makeHalt()); }
+  ProgramBuilder &alu(Opcode Op, unsigned Rd, unsigned Rs1, unsigned Rs2) {
+    return emit(makeAlu(Op, Rd, Rs1, Rs2));
+  }
+  ProgramBuilder &aluImm(Opcode Op, unsigned Rd, unsigned Rs1, int64_t Imm) {
+    return emit(makeAluImm(Op, Rd, Rs1, Imm));
+  }
+  ProgramBuilder &addi(unsigned Rd, unsigned Rs1, int64_t Imm) {
+    return aluImm(Opcode::AddI, Rd, Rs1, Imm);
+  }
+  ProgramBuilder &loadImm(unsigned Rd, int64_t Imm) {
+    return emit(makeLoadImm(Rd, Imm));
+  }
+  ProgramBuilder &move(unsigned Rd, unsigned Rs1) {
+    return emit(makeMove(Rd, Rs1));
+  }
+  ProgramBuilder &load(unsigned Rd, unsigned Base, int64_t Off) {
+    return emit(makeLoad(Rd, Base, Off));
+  }
+  ProgramBuilder &store(unsigned Base, int64_t Off, unsigned ValueReg) {
+    return emit(makeStore(Base, Off, ValueReg));
+  }
+  ProgramBuilder &prefetch(unsigned Base, int64_t Off) {
+    return emit(makePrefetch(Base, Off));
+  }
+  ProgramBuilder &fadd(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+    return alu(Opcode::FAdd, Rd, Rs1, Rs2);
+  }
+  ProgramBuilder &fmul(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+    return alu(Opcode::FMul, Rd, Rs1, Rs2);
+  }
+
+  /// Emits a conditional branch to \p Label (resolved at finish()).
+  ProgramBuilder &branch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                         const std::string &Label);
+  ProgramBuilder &beq(unsigned Rs1, unsigned Rs2, const std::string &L) {
+    return branch(Opcode::Beq, Rs1, Rs2, L);
+  }
+  ProgramBuilder &bne(unsigned Rs1, unsigned Rs2, const std::string &L) {
+    return branch(Opcode::Bne, Rs1, Rs2, L);
+  }
+  ProgramBuilder &blt(unsigned Rs1, unsigned Rs2, const std::string &L) {
+    return branch(Opcode::Blt, Rs1, Rs2, L);
+  }
+  ProgramBuilder &bge(unsigned Rs1, unsigned Rs2, const std::string &L) {
+    return branch(Opcode::Bge, Rs1, Rs2, L);
+  }
+
+  /// Emits an unconditional jump to \p Label.
+  ProgramBuilder &jump(const std::string &Label);
+
+  /// Marks the entry point at the current emission point (defaults to the
+  /// base address when never called).
+  ProgramBuilder &entryHere();
+
+  /// Resolves all label references and returns the finished program.
+  /// Asserts on undefined labels. The builder is left empty.
+  Program finish();
+
+private:
+  Addr BasePC;
+  Addr EntryPC = 0;
+  bool EntrySet = false;
+  std::vector<Instruction> Code;
+  std::unordered_map<std::string, Addr> Labels;
+  // Instruction index -> label whose address goes in Imm.
+  std::vector<std::pair<size_t, std::string>> Fixups;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_ISA_PROGRAMBUILDER_H

@@ -1,0 +1,109 @@
+//===- Cache.cpp ----------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/Cache.h"
+
+#include <cassert>
+
+using namespace trident;
+
+static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
+
+Cache::Cache(const CacheConfig &Config)
+    : Config(Config), Sets(Config.numSets()) {
+  assert(isPowerOfTwo(Sets) && "number of sets must be a power of two");
+  assert(isPowerOfTwo(Config.LineSize) && "line size must be a power of two");
+  SetArray.resize(Sets);
+  for (auto &S : SetArray)
+    S.Ways.resize(Config.Assoc);
+}
+
+void Cache::SetState::recordVictim(uint64_t Tag) {
+  VictimTags[VictimNext] = Tag;
+  VictimValid[VictimNext] = true;
+  VictimNext = (VictimNext + 1) % VictimDepth;
+}
+
+bool Cache::SetState::consumeVictim(uint64_t Tag) {
+  for (unsigned I = 0; I < VictimDepth; ++I) {
+    if (VictimValid[I] && VictimTags[I] == Tag) {
+      VictimValid[I] = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+Cache::LookupResult Cache::lookup(Addr LineAddr) {
+  assert((LineAddr & (Config.LineSize - 1)) == 0 && "unaligned line address");
+  SetState &S = SetArray[setIndex(LineAddr)];
+  uint64_t Tag = tagOf(LineAddr);
+  for (Line &L : S.Ways) {
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = ++UseClock;
+      return {&L, false};
+    }
+  }
+  return {nullptr, S.consumeVictim(Tag)};
+}
+
+const Cache::Line *Cache::peek(Addr LineAddr) const {
+  const SetState &S = SetArray[setIndex(LineAddr)];
+  uint64_t Tag = tagOf(LineAddr);
+  for (const Line &L : S.Ways)
+    if (L.Valid && L.Tag == Tag)
+      return &L;
+  return nullptr;
+}
+
+void Cache::insert(Addr LineAddr, Cycle FillReady, bool Prefetched) {
+  assert((LineAddr & (Config.LineSize - 1)) == 0 && "unaligned line address");
+  SetState &S = SetArray[setIndex(LineAddr)];
+  uint64_t Tag = tagOf(LineAddr);
+
+  // Refill of a present line (e.g. prefetch of a resident line): refresh.
+  for (Line &L : S.Ways) {
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = ++UseClock;
+      return;
+    }
+  }
+
+  // Pick victim: an invalid way, else LRU.
+  Line *Victim = &S.Ways[0];
+  for (Line &L : S.Ways) {
+    if (!L.Valid) {
+      Victim = &L;
+      break;
+    }
+    if (L.LastUse < Victim->LastUse)
+      Victim = &L;
+  }
+
+  if (Victim->Valid && Prefetched && !Victim->Untouched) {
+    // A prefetch displaced a line the program had actually used: remember
+    // the tag so a subsequent miss can be blamed on prefetching (Fig. 6).
+    S.recordVictim(Victim->Tag);
+  }
+
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->FillReady = FillReady;
+  Victim->Prefetched = Prefetched;
+  Victim->Untouched = Prefetched;
+  Victim->LastUse = ++UseClock;
+}
+
+void Cache::reset() {
+  for (auto &S : SetArray) {
+    for (Line &L : S.Ways)
+      L = Line();
+    for (unsigned I = 0; I < SetState::VictimDepth; ++I)
+      S.VictimValid[I] = false;
+    S.VictimNext = 0;
+  }
+  UseClock = 0;
+}

@@ -1,0 +1,99 @@
+//===- Cache.h - One set-associative cache level ---------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A timing-aware set-associative cache. Lines carry a fill-completion cycle
+/// (so hits on in-flight fills become *partial* hits), a prefetched bit with
+/// a first-touch marker (Figure 6's "Hit-prefetched"), and each set keeps a
+/// tiny victim-tag buffer of lines displaced by prefetch fills so a later
+/// miss on the same tag can be attributed to prefetch pollution ("Miss due
+/// to prefetching").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_MEM_CACHE_H
+#define TRIDENT_MEM_CACHE_H
+
+#include "mem/CacheTypes.h"
+
+#include <vector>
+
+namespace trident {
+
+class Cache {
+public:
+  struct Line {
+    bool Valid = false;
+    uint64_t Tag = 0;
+    /// Cycle the fill completes; a "present" line may still be in flight.
+    Cycle FillReady = 0;
+    /// Brought in by a (software or hardware) prefetch.
+    bool Prefetched = false;
+    /// Prefetched and not yet demand-touched.
+    bool Untouched = false;
+    /// LRU timestamp.
+    uint64_t LastUse = 0;
+  };
+
+  /// Result of looking up one line.
+  struct LookupResult {
+    Line *L = nullptr;           ///< nullptr on miss.
+    bool VictimOfPrefetch = false; ///< miss tag matched a prefetch victim.
+  };
+
+  explicit Cache(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+
+  /// Looks up \p LineAddr (must be line-aligned). On hit, bumps LRU. On
+  /// miss, reports whether this tag was recently displaced by a prefetch
+  /// fill (and consumes that victim record).
+  LookupResult lookup(Addr LineAddr);
+
+  /// Looks up without changing LRU or victim-buffer state.
+  const Line *peek(Addr LineAddr) const;
+
+  /// Inserts \p LineAddr, evicting the LRU way. \p FillReady is when the
+  /// data arrives; \p Prefetched tags prefetch-initiated fills. If the
+  /// insertion displaces a valid demand-touched line *because of a
+  /// prefetch*, the victim tag is remembered for pollution attribution.
+  void insert(Addr LineAddr, Cycle FillReady, bool Prefetched);
+
+  /// Invalidates every line (used between experiment phases).
+  void reset();
+
+  /// Aligns \p A down to the containing line address.
+  Addr lineAddr(Addr A) const { return A & ~static_cast<Addr>(Config.LineSize - 1); }
+
+  uint64_t numSets() const { return Sets; }
+
+private:
+  struct SetState {
+    std::vector<Line> Ways;
+    /// Small FIFO of tags displaced by prefetch fills (pollution tracking).
+    static constexpr unsigned VictimDepth = 4;
+    uint64_t VictimTags[VictimDepth] = {};
+    bool VictimValid[VictimDepth] = {};
+    unsigned VictimNext = 0;
+
+    void recordVictim(uint64_t Tag);
+    bool consumeVictim(uint64_t Tag);
+  };
+
+  uint64_t setIndex(Addr LineAddr) const {
+    return (LineAddr / Config.LineSize) & (Sets - 1);
+  }
+  uint64_t tagOf(Addr LineAddr) const { return LineAddr / Config.LineSize; }
+
+  CacheConfig Config;
+  uint64_t Sets;
+  std::vector<SetState> SetArray;
+  uint64_t UseClock = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_MEM_CACHE_H

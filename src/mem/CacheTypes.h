@@ -1,0 +1,76 @@
+//===- CacheTypes.h - Shared memory-system types ---------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration records and access descriptors shared across the memory
+/// subsystem. The load-outcome classification mirrors Figure 6 of the paper:
+/// hits, first-touch hits on prefetched lines, partial hits on in-flight
+/// prefetches, ordinary misses, and misses caused by prefetch displacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_MEM_CACHETYPES_H
+#define TRIDENT_MEM_CACHETYPES_H
+
+#include "isa/Instruction.h"
+#include "support/Types.h"
+
+#include <cstdint>
+#include <string>
+
+namespace trident {
+
+/// Geometry and latency of one cache level.
+struct CacheConfig {
+  std::string Name = "cache";
+  uint64_t SizeBytes = 64 * 1024;
+  unsigned Assoc = 2;
+  unsigned LineSize = 64;
+  unsigned HitLatency = 3;
+
+  uint64_t numSets() const { return SizeBytes / (uint64_t(Assoc) * LineSize); }
+};
+
+/// Who initiated a memory access; determines training, stat accounting, and
+/// whether a register is waiting on the result.
+enum class AccessKind : uint8_t {
+  DemandLoad,
+  DemandStore,
+  SoftwarePrefetch, ///< Optimizer-inserted Prefetch instruction.
+  HardwarePrefetch, ///< Stream-buffer initiated fill.
+};
+
+inline bool isPrefetchKind(AccessKind K) {
+  return K == AccessKind::SoftwarePrefetch || K == AccessKind::HardwarePrefetch;
+}
+
+/// Figure-6 style classification of one demand load.
+enum class LoadOutcome : uint8_t {
+  HitNone,          ///< Plain cache hit (incl. later touches of pf lines).
+  HitPrefetched,    ///< First demand touch of a line a prefetch brought in.
+  PartialHit,       ///< Data still in flight from a prefetch; partly hidden.
+  Miss,             ///< Ordinary miss.
+  MissDueToPrefetch ///< Missed because a prefetch displaced the line.
+};
+
+/// Result of a timed memory access.
+struct AccessResult {
+  /// Cycle at which the loaded data is available to dependents.
+  Cycle ReadyCycle = 0;
+  /// Level that served the access: 1..3 = cache level, 4 = memory,
+  /// 0 = stream buffer.
+  unsigned Level = 1;
+  LoadOutcome Outcome = LoadOutcome::HitNone;
+  bool StreamBufferHit = false;
+
+  unsigned latency(Cycle Now) const {
+    return static_cast<unsigned>(ReadyCycle - Now);
+  }
+};
+
+} // namespace trident
+
+#endif // TRIDENT_MEM_CACHETYPES_H

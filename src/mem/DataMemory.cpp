@@ -1,0 +1,52 @@
+//===- DataMemory.cpp -----------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/DataMemory.h"
+
+using namespace trident;
+
+uint64_t DataMemory::read64(Addr A) const {
+  // Fast path: the access stays within one page.
+  size_t Off = A & (PageSize - 1);
+  if (Off + 8 <= PageSize) {
+    const Page *P = findPage(A);
+    if (!P)
+      return 0;
+    uint64_t V;
+    std::memcpy(&V, P->data() + Off, 8);
+    return V;
+  }
+  // Page-straddling access: assemble byte by byte.
+  uint64_t V = 0;
+  for (unsigned I = 0; I < 8; ++I) {
+    const Page *P = findPage(A + I);
+    uint8_t B = P ? (*P)[(A + I) & (PageSize - 1)] : 0;
+    V |= static_cast<uint64_t>(B) << (8 * I);
+  }
+  return V;
+}
+
+void DataMemory::write64(Addr A, uint64_t Value) {
+  size_t Off = A & (PageSize - 1);
+  if (Off + 8 <= PageSize) {
+    Page &P = getOrCreatePage(A);
+    std::memcpy(P.data() + Off, &Value, 8);
+    return;
+  }
+  for (unsigned I = 0; I < 8; ++I) {
+    Page &P = getOrCreatePage(A + I);
+    P[(A + I) & (PageSize - 1)] = static_cast<uint8_t>(Value >> (8 * I));
+  }
+}
+
+DataMemory::Page &DataMemory::getOrCreatePage(Addr A) {
+  auto &Slot = Pages[A >> PageBits];
+  if (!Slot) {
+    Slot = std::make_unique<Page>();
+    Slot->fill(0);
+  }
+  return *Slot;
+}

@@ -1,0 +1,56 @@
+//===- DataMemory.h - Sparse functional data memory ------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-addressable sparse memory backing the functional execution of
+/// workloads. Pages materialize zero-filled on first touch, which also gives
+/// non-faulting loads (Section 3.4.3) their "never traps" semantics for
+/// free: any address reads as zero until written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_MEM_DATAMEMORY_H
+#define TRIDENT_MEM_DATAMEMORY_H
+
+#include "isa/Instruction.h"
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace trident {
+
+class DataMemory {
+public:
+  static constexpr size_t PageBits = 12;
+  static constexpr size_t PageSize = size_t(1) << PageBits;
+
+  /// Reads a 64-bit little-endian value; unwritten memory reads as zero.
+  uint64_t read64(Addr A) const;
+
+  /// Writes a 64-bit little-endian value, materializing pages as needed.
+  void write64(Addr A, uint64_t Value);
+
+  /// Number of materialized 4KB pages (footprint introspection for tests).
+  size_t numPages() const { return Pages.size(); }
+
+private:
+  using Page = std::array<uint8_t, PageSize>;
+
+  const Page *findPage(Addr A) const {
+    auto It = Pages.find(A >> PageBits);
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+  Page &getOrCreatePage(Addr A);
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_MEM_DATAMEMORY_H

@@ -1,0 +1,231 @@
+//===- MemorySystem.cpp ---------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/MemorySystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace trident;
+
+MemoryBackend::~MemoryBackend() = default;
+HwPrefetcher::~HwPrefetcher() = default;
+
+MemorySystem::MemorySystem(const MemSystemConfig &Config)
+    : Config(Config), L1(Config.L1), L2(Config.L2), L3(Config.L3) {
+  assert(Config.L1.LineSize == Config.L2.LineSize &&
+         Config.L2.LineSize == Config.L3.LineSize &&
+         "hierarchy levels must share a line size");
+  if (Config.Tlb.Enable)
+    Dtlb = std::make_unique<Tlb>(Config.Tlb);
+}
+
+void MemorySystem::attachPrefetcher(std::unique_ptr<HwPrefetcher> NewPf) {
+  Pf = std::move(NewPf);
+}
+
+Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
+  // Purge completed fills.
+  auto *End = &OutstandingFills;
+  (void)End;
+  std::erase_if(OutstandingFills,
+                [IssueCycle](Cycle C) { return C <= IssueCycle; });
+  if (OutstandingFills.size() >= Config.NumMSHRs) {
+    // All MSHRs busy: the new fill waits for the earliest completion.
+    auto MinIt =
+        std::min_element(OutstandingFills.begin(), OutstandingFills.end());
+    Cycle Delay = *MinIt - IssueCycle;
+    OutstandingFills.erase(MinIt);
+    Ready += Delay;
+  }
+  OutstandingFills.push_back(Ready);
+  return Ready;
+}
+
+Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
+  if (Kind == AccessKind::HardwarePrefetch)
+    ++Stats.HardwarePrefetches;
+  // L2.
+  if (auto [Line, Victim] = L2.lookup(LineAddr); Line) {
+    Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L2.HitLatency);
+    if (!isPrefetchKind(Kind))
+      Line->Untouched = false;
+    return Ready;
+  }
+  // L3.
+  if (auto [Line, Victim] = L3.lookup(LineAddr); Line) {
+    Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L3.HitLatency);
+    if (!isPrefetchKind(Kind))
+      Line->Untouched = false;
+    bool Prefetched = isPrefetchKind(Kind);
+    L2.insert(LineAddr, Ready, Prefetched);
+    return Ready;
+  }
+  // Memory: serialize on the shared bus, then pay the full latency.
+  ++Stats.MemoryFetches;
+  Cycle BusStart = std::max(Now, BusNextFree);
+  BusNextFree = BusStart + Config.BusOccupancy;
+  Cycle Ready = BusStart + Config.MemoryLatency;
+  bool Prefetched = isPrefetchKind(Kind);
+  L3.insert(LineAddr, Ready, Prefetched);
+  L2.insert(LineAddr, Ready, Prefetched);
+  return Ready;
+}
+
+AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
+                                  Cycle Now) {
+  const bool DemandLoad = Kind == AccessKind::DemandLoad;
+  if (DemandLoad)
+    ++Stats.DemandLoads;
+  else if (Kind == AccessKind::SoftwarePrefetch)
+    ++Stats.SoftwarePrefetches;
+  else if (Kind == AccessKind::HardwarePrefetch)
+    ++Stats.HardwarePrefetches;
+
+  // Optional TLB: demand accesses that miss pay a page walk; software
+  // prefetches to untranslated pages are dropped (non-faulting prefetch
+  // semantics on real machines).
+  if (Dtlb) {
+    if (Kind == AccessKind::SoftwarePrefetch) {
+      if (!Dtlb->present(ByteAddr)) {
+        Dtlb->noteDroppedPrefetch();
+        AccessResult Dropped;
+        Dropped.ReadyCycle = Now + 1;
+        Dropped.Level = 1;
+        return Dropped;
+      }
+    } else if (Kind != AccessKind::HardwarePrefetch &&
+               !Dtlb->access(ByteAddr)) {
+      Now += Config.Tlb.WalkLatency; // serialize the walk before the access
+    }
+  }
+
+  Addr LineAddr = L1.lineAddr(ByteAddr);
+  AccessResult R;
+
+  auto finishDemand = [&](AccessResult &Res) {
+    if (!DemandLoad)
+      return;
+    switch (Res.Outcome) {
+    case LoadOutcome::HitNone:
+      ++Stats.HitsNone;
+      break;
+    case LoadOutcome::HitPrefetched:
+      ++Stats.HitsPrefetched;
+      break;
+    case LoadOutcome::PartialHit:
+      ++Stats.PartialHits;
+      break;
+    case LoadOutcome::Miss:
+      ++Stats.Misses;
+      break;
+    case LoadOutcome::MissDueToPrefetch:
+      ++Stats.MissesDueToPrefetch;
+      break;
+    }
+    Cycle BestCase = Now + Config.L1.HitLatency;
+    if (Res.ReadyCycle > BestCase)
+      Stats.TotalExposedLatency += Res.ReadyCycle - BestCase;
+  };
+
+  // L1 lookup.
+  auto [Line, VictimOfPrefetch] = L1.lookup(LineAddr);
+  if (Line) {
+    Cycle HitReady = Now + Config.L1.HitLatency;
+    if (Line->FillReady <= HitReady) {
+      // Data present.
+      R.ReadyCycle = HitReady;
+      R.Level = 1;
+      R.Outcome = LoadOutcome::HitNone;
+      if (DemandLoad && Line->Untouched) {
+        R.Outcome = LoadOutcome::HitPrefetched;
+        Line->Untouched = false;
+      } else if (!isPrefetchKind(Kind)) {
+        Line->Untouched = false;
+      }
+    } else {
+      // Fill still in flight: a partial hit when prefetch-initiated,
+      // otherwise an ordinary merged demand miss.
+      R.ReadyCycle = Line->FillReady;
+      R.Level = 1;
+      R.Outcome =
+          Line->Prefetched ? LoadOutcome::PartialHit : LoadOutcome::Miss;
+      if (!isPrefetchKind(Kind)) {
+        Line->Untouched = false;
+        // A partial hit is still an L1 miss: it trains the hardware
+        // prefetcher (otherwise software prefetching would starve the
+        // stream buffers of training and silently disable them).
+        if (Pf && (DemandLoad || Kind == AccessKind::DemandStore))
+          Pf->trainOnMiss(PC, ByteAddr, Now, *this);
+      }
+    }
+    finishDemand(R);
+    return R;
+  }
+
+  // L1 miss. Probe the hardware prefetcher's buffers first (demand and
+  // software-prefetch accesses both benefit; hardware fills skip the probe).
+  if (Pf && Kind != AccessKind::HardwarePrefetch) {
+    if (std::optional<Cycle> BufReady = Pf->probe(LineAddr, Now, *this)) {
+      Cycle Ready =
+          std::max(*BufReady, Now + Config.StreamBufferTransferLatency);
+      L1.insert(LineAddr, Ready, /*Prefetched=*/true);
+      if (DemandLoad) {
+        Cache::LookupResult LR = L1.lookup(LineAddr);
+        assert(LR.L && "line we just inserted must be present");
+        LR.L->Untouched = false;
+      }
+      R.ReadyCycle = Ready;
+      R.Level = 0;
+      R.StreamBufferHit = true;
+      ++Stats.StreamBufferHits;
+      R.Outcome = Ready <= Now + Config.StreamBufferTransferLatency
+                      ? LoadOutcome::HitPrefetched
+                      : LoadOutcome::PartialHit;
+      finishDemand(R);
+      return R;
+    }
+  }
+
+  // Full miss: fetch through L2/L3/memory, bounded by MSHR availability.
+  Cycle IssueCycle = Now + Config.L1.HitLatency;
+  Cycle Ready = fetchBeyondL1(LineAddr, IssueCycle, Kind);
+  Ready = allocateMshr(IssueCycle, Ready);
+  L1.insert(LineAddr, Ready, isPrefetchKind(Kind));
+  if (!isPrefetchKind(Kind)) {
+    Cache::LookupResult LR = L1.lookup(LineAddr);
+    assert(LR.L && "line we just inserted must be present");
+    LR.L->Untouched = false;
+  }
+
+  R.ReadyCycle = Ready;
+  R.Level = Ready - Now <= Config.L2.HitLatency + 1   ? 2
+            : Ready - Now <= Config.L3.HitLatency + 1 ? 3
+                                                      : 4;
+  R.Outcome = VictimOfPrefetch ? LoadOutcome::MissDueToPrefetch
+                               : LoadOutcome::Miss;
+  finishDemand(R);
+
+  // Train the hardware prefetcher on misses. Software prefetches train it
+  // too — they go through the ordinary miss path, so a software prefetch
+  // stream re-primes a stream buffer ahead of itself and the two
+  // prefetchers cooperate rather than starve each other (the paper's
+  // observation that the combination minimizes software prefetching cost).
+  if (Pf && Kind != AccessKind::HardwarePrefetch)
+    Pf->trainOnMiss(PC, ByteAddr, Now, *this);
+
+  return R;
+}
+
+void MemorySystem::resetCaches() {
+  L1.reset();
+  L2.reset();
+  L3.reset();
+  if (Dtlb)
+    Dtlb->reset();
+  OutstandingFills.clear();
+  BusNextFree = 0;
+}

@@ -1,0 +1,157 @@
+//===- MemorySystem.h - Timed 3-level hierarchy + prefetcher ---*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timed memory subsystem of the baseline processor (Table 1):
+/// L1 64KB/2-way/3cy, L2 512KB/8-way/11cy, L3 4MB/16-way/35cy, 350-cycle
+/// memory, a shared memory bus with per-line occupancy, and MSHRs bounding
+/// outstanding misses. A pluggable hardware prefetcher (the stream-buffer
+/// unit from src/hwpf) is probed on L1 misses and trained on demand misses,
+/// mirroring the paper's baseline "hardware stream buffer prefetching
+/// guided by a stride predictor".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_MEM_MEMORYSYSTEM_H
+#define TRIDENT_MEM_MEMORYSYSTEM_H
+
+#include "mem/Cache.h"
+#include "mem/CacheTypes.h"
+#include "mem/Tlb.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace trident {
+
+/// Interface the hardware prefetcher uses to fetch lines through the L2/L3/
+/// memory path with correct timing and bus occupancy.
+class MemoryBackend {
+public:
+  virtual ~MemoryBackend();
+
+  /// Fetches \p LineAddr from beyond the L1 (checking L2, then L3, then
+  /// memory; filling the levels it passes) and returns the cycle the data
+  /// is ready.
+  virtual Cycle fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) = 0;
+
+  /// Line size of the hierarchy in bytes.
+  virtual unsigned lineSize() const = 0;
+};
+
+/// Abstract hardware prefetcher (implemented by hwpf::StreamBufferUnit).
+class HwPrefetcher {
+public:
+  virtual ~HwPrefetcher();
+
+  /// Called for every demand access that missed in the L1, after the probe
+  /// failed; the prefetcher may allocate streams and issue fills via \p BE.
+  virtual void trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
+                           MemoryBackend &BE) = 0;
+
+  /// Asks whether the prefetcher holds (or is fetching) \p LineAddr. On a
+  /// hit the prefetcher consumes the entry, advances the stream (issuing
+  /// further fills via \p BE), and returns the cycle the line's data is
+  /// available.
+  virtual std::optional<Cycle> probe(Addr LineAddr, Cycle Now,
+                                     MemoryBackend &BE) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Aggregate configuration of the memory subsystem.
+struct MemSystemConfig {
+  CacheConfig L1{"L1", 64 * 1024, 2, 64, 3};
+  CacheConfig L2{"L2", 512 * 1024, 8, 64, 11};
+  CacheConfig L3{"L3", 4 * 1024 * 1024, 16, 64, 35};
+  unsigned MemoryLatency = 350;
+  /// Cycles one line transfer occupies the memory bus (bandwidth model).
+  unsigned BusOccupancy = 6;
+  /// Maximum outstanding line fills (demand + prefetch combined).
+  unsigned NumMSHRs = 32;
+  /// Latency to move a line from a stream buffer into the L1.
+  unsigned StreamBufferTransferLatency = 11;
+  /// Optional data-TLB model (off in the Table 1 baseline).
+  TlbConfig Tlb;
+
+  /// The paper's Table 1 baseline.
+  static MemSystemConfig baseline() { return MemSystemConfig(); }
+};
+
+/// Demand/prefetch traffic statistics (feeds Figures 2, 6, 9).
+struct MemStats {
+  uint64_t DemandLoads = 0;
+  uint64_t HitsNone = 0;
+  uint64_t HitsPrefetched = 0;
+  uint64_t PartialHits = 0;
+  uint64_t Misses = 0;
+  uint64_t MissesDueToPrefetch = 0;
+  uint64_t StreamBufferHits = 0;
+  uint64_t SoftwarePrefetches = 0;
+  uint64_t HardwarePrefetches = 0;
+  uint64_t MemoryFetches = 0;
+  /// Sum over demand loads of (ReadyCycle - issue cycle) beyond the L1 hit
+  /// latency; the aggregate exposed-latency metric.
+  uint64_t TotalExposedLatency = 0;
+
+  uint64_t demandL1Misses() const {
+    return PartialHits + Misses + MissesDueToPrefetch;
+  }
+};
+
+/// The full timed memory system.
+class MemorySystem final : public MemoryBackend {
+public:
+  explicit MemorySystem(const MemSystemConfig &Config);
+
+  /// Installs (or clears) the hardware prefetcher. Ownership transfers.
+  void attachPrefetcher(std::unique_ptr<HwPrefetcher> Pf);
+  HwPrefetcher *prefetcher() { return Pf.get(); }
+
+  /// Performs one timed access. \p PC is the accessing instruction's
+  /// address (used for prefetcher training), \p ByteAddr the data address.
+  AccessResult access(Addr PC, Addr ByteAddr, AccessKind Kind, Cycle Now);
+
+  // MemoryBackend interface.
+  Cycle fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) override;
+  unsigned lineSize() const override { return Config.L1.LineSize; }
+
+  const MemSystemConfig &config() const { return Config; }
+  const MemStats &stats() const { return Stats; }
+  void clearStats() { Stats = MemStats(); }
+
+  /// Invalidates all cache state (not the stats).
+  void resetCaches();
+
+  Cache &l1() { return L1; }
+  Cache &l2() { return L2; }
+  Cache &l3() { return L3; }
+  /// The data TLB, or nullptr when disabled.
+  const Tlb *dtlb() const { return Dtlb.get(); }
+
+private:
+  /// Delays \p IssueCycle until an MSHR is free and registers the fill.
+  Cycle allocateMshr(Cycle IssueCycle, Cycle Ready);
+
+  MemSystemConfig Config;
+  Cache L1;
+  Cache L2;
+  Cache L3;
+  std::unique_ptr<Tlb> Dtlb;
+  std::unique_ptr<HwPrefetcher> Pf;
+  MemStats Stats;
+
+  /// Cycle the memory bus frees up.
+  Cycle BusNextFree = 0;
+  /// Ready cycles of outstanding fills (bounded by NumMSHRs).
+  std::vector<Cycle> OutstandingFills;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_MEM_MEMORYSYSTEM_H

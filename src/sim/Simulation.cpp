@@ -1,0 +1,131 @@
+//===- Simulation.cpp -----------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulation.h"
+
+#include "branch/BranchPredictor.h"
+#include "trident/CodeCache.h"
+
+#include <cassert>
+
+using namespace trident;
+
+const char *trident::hwPfConfigName(HwPfConfig C) {
+  switch (C) {
+  case HwPfConfig::None:
+    return "no-hwpf";
+  case HwPfConfig::Sb4x4:
+    return "sb4x4";
+  case HwPfConfig::Sb8x8:
+    return "sb8x8";
+  }
+  return "<bad>";
+}
+
+SimConfig SimConfig::hwBaseline() {
+  SimConfig C;
+  C.HwPf = HwPfConfig::Sb8x8;
+  C.EnableTrident = false;
+  return C;
+}
+
+SimConfig SimConfig::withMode(PrefetchMode Mode) {
+  SimConfig C = hwBaseline();
+  C.EnableTrident = true;
+  C.Runtime.Mode = Mode;
+  return C;
+}
+
+SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
+  // Build the machine.
+  Program Prog = W.Prog; // private copy: Trident patches it
+  DataMemory Data;
+  W.Init(Data);
+
+  MemorySystem Mem(Config.Mem);
+  StreamBufferUnit *SbUnit = nullptr;
+  if (Config.HwPf != HwPfConfig::None) {
+    StreamBufferConfig SbCfg = Config.HwPf == HwPfConfig::Sb4x4
+                                   ? StreamBufferConfig::config4x4()
+                                   : StreamBufferConfig::config8x8();
+    if (Config.Mem.Tlb.Enable) {
+      SbCfg.StopAtPageBoundary = true; // streams respect pages when a TLB
+      SbCfg.PageBits = Config.Mem.Tlb.PageBits; // is being modeled
+    }
+    auto Unit = std::make_unique<StreamBufferUnit>(SbCfg);
+    SbUnit = Unit.get();
+    Mem.attachPrefetcher(std::move(Unit));
+  }
+
+  CodeCache CC;
+  CodeImage Image(Prog, CC);
+  SmtCore Core(Config.Core, Image, Data, Mem);
+  MetaPredictor Predictor;
+  Core.setBranchPredictor(&Predictor);
+
+  std::unique_ptr<TridentRuntime> Runtime;
+  if (Config.EnableTrident) {
+    RuntimeConfig RC = Config.Runtime;
+    RC.MemoryLatency = Config.Mem.MemoryLatency;
+    RC.L1HitLatency = Config.Mem.L1.HitLatency;
+    Runtime = std::make_unique<TridentRuntime>(RC, Prog, Core, CC);
+    Core.setListener(Runtime.get());
+  }
+
+  Core.startContext(0, Prog.entryPC());
+
+  // Warmup: caches and predictors train; dynamic optimization disabled
+  // (Section 4.2).
+  if (Config.WarmupInstructions > 0) {
+    SmtCore::StopReason R = Core.run(Config.WarmupInstructions);
+    assert(R != SmtCore::StopReason::CycleLimit && "warmup hit cycle cap");
+    (void)R;
+  }
+  if (Runtime)
+    Runtime->setEnabled(true);
+
+  // Measurement window.
+  Core.clearStats();
+  Mem.clearStats();
+  if (Runtime)
+    Runtime->clearStats();
+  Cycle Start = Core.now();
+  SmtCore::StopReason Stop = Core.run(Config.SimInstructions);
+  Cycle End = Core.now();
+
+  SimResult Res;
+  Res.Workload = W.Name;
+  Res.ConfigName = Config.EnableTrident
+                       ? std::string("trident-") +
+                             prefetchModeName(Config.Runtime.Mode)
+                       : hwPfConfigName(Config.HwPf);
+  Res.Instructions = Core.stats(0).CommittedOriginal;
+  Res.Cycles = End - Start;
+  Res.Ipc = Res.Cycles == 0
+                ? 0.0
+                : static_cast<double>(Res.Instructions) / Res.Cycles;
+  Res.Mem = Mem.stats();
+  if (Runtime) {
+    Res.Runtime = Runtime->stats();
+    Res.Dlt = Runtime->dlt().stats();
+  }
+  if (SbUnit)
+    Res.HwPf = SbUnit->stats();
+  if (const Tlb *T = Mem.dtlb())
+    Res.Tlb = T->stats();
+  Res.HelperBusyCycles = Core.helperBusyCycles();
+  Res.BranchMispredicts = Core.stats(0).BranchMispredicts;
+  Res.Halted = Stop == SmtCore::StopReason::Halted;
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned R = 0; R < reg::NumRegs; ++R) {
+    // Exclude optimizer scratch registers: they are runtime-owned.
+    if (R >= reg::FirstScratch)
+      continue;
+    H = (H ^ Core.getReg(0, R)) * 1099511628211ull;
+  }
+  Res.RegChecksum = H;
+  return Res;
+}

@@ -1,0 +1,87 @@
+//===- Simulation.h - Full-system wiring and experiment runner -*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wires the whole machine together — SMT core, memory system, optional
+/// hardware stream-buffer prefetcher, branch predictor, and the Trident
+/// runtime with the self-repairing prefetcher — and runs one workload
+/// under one configuration, reproducing the paper's methodology
+/// (Section 4): warm up with monitoring disabled, then measure a fixed
+/// budget of committed *original* instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_SIM_SIMULATION_H
+#define TRIDENT_SIM_SIMULATION_H
+
+#include "core/TridentRuntime.h"
+#include "hwpf/StreamBuffer.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <string>
+
+namespace trident {
+
+/// What hardware prefetcher (if any) the baseline machine carries.
+enum class HwPfConfig : uint8_t { None, Sb4x4, Sb8x8 };
+
+const char *hwPfConfigName(HwPfConfig C);
+
+struct SimConfig {
+  CoreConfig Core = CoreConfig::baseline();
+  MemSystemConfig Mem = MemSystemConfig::baseline();
+  HwPfConfig HwPf = HwPfConfig::Sb8x8;
+  /// Enable the Trident runtime at all (false = raw hardware baseline).
+  bool EnableTrident = false;
+  RuntimeConfig Runtime = RuntimeConfig::baseline();
+  /// Warmup instructions (monitoring/optimization disabled; Section 4.2).
+  uint64_t WarmupInstructions = 200'000;
+  /// Measured committed original instructions.
+  uint64_t SimInstructions = 2'000'000;
+
+  /// The paper's baseline: 8x8 stream buffers, no software prefetching.
+  static SimConfig hwBaseline();
+  /// Trident with a given prefetch mode on top of the hw baseline.
+  static SimConfig withMode(PrefetchMode Mode);
+};
+
+struct SimResult {
+  std::string Workload;
+  std::string ConfigName;
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  double Ipc = 0.0;
+  MemStats Mem;
+  RuntimeStats Runtime;
+  DltStats Dlt;
+  TlbStats Tlb;
+  StreamBufferStats HwPf;
+  Cycle HelperBusyCycles = 0;
+  uint64_t BranchMispredicts = 0;
+  /// FNV-style hash of the main context's final register file — used by
+  /// tests to check that dynamic optimization never changes semantics.
+  uint64_t RegChecksum = 0;
+  /// True when the program ran to its Halt before the instruction budget.
+  bool Halted = false;
+
+  double helperActiveFraction() const {
+    return Cycles == 0 ? 0.0
+                       : static_cast<double>(HelperBusyCycles) / Cycles;
+  }
+};
+
+/// Runs \p W under \p Config and returns the measured result.
+SimResult runSimulation(const Workload &W, const SimConfig &Config);
+
+/// Convenience: speedup of \p A over baseline \p Base (IPC ratio).
+inline double speedup(const SimResult &A, const SimResult &Base) {
+  return Base.Ipc == 0.0 ? 0.0 : A.Ipc / Base.Ipc;
+}
+
+} // namespace trident
+
+#endif // TRIDENT_SIM_SIMULATION_H

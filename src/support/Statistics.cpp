@@ -1,0 +1,38 @@
+//===- Statistics.cpp -----------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace trident;
+
+double trident::arithmeticMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double trident::geometricMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs) {
+    assert(X > 0 && "geometric mean requires positive values");
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+double Histogram::cdfAt(size_t Idx) const {
+  if (Total == 0)
+    return 0.0;
+  uint64_t Acc = 0;
+  for (size_t I = 0; I <= Idx && I < Counts.size(); ++I)
+    Acc += Counts[I];
+  return static_cast<double>(Acc) / static_cast<double>(Total);
+}

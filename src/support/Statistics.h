@@ -1,0 +1,91 @@
+//===- Statistics.h - Counters, means, and histograms ----------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight statistics helpers shared by the simulator and the benchmark
+/// harnesses: running means, geometric means (the paper reports average
+/// speedups), and simple bucketed histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_SUPPORT_STATISTICS_H
+#define TRIDENT_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trident {
+
+/// Incremental mean / min / max over a stream of samples.
+class RunningStat {
+public:
+  void addSample(double X) {
+    ++Count;
+    Sum += X;
+    Min = Count == 1 ? X : std::min(Min, X);
+    Max = Count == 1 ? X : std::max(Max, X);
+  }
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double min() const { return Count == 0 ? 0.0 : Min; }
+  double max() const { return Count == 0 ? 0.0 : Max; }
+
+  void reset() { *this = RunningStat(); }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Arithmetic mean of a vector; returns 0 for an empty vector.
+double arithmeticMean(const std::vector<double> &Xs);
+
+/// Geometric mean of a vector of positive values; returns 0 for empty input.
+/// Used for "average speedup" rows in the reproduced figures.
+double geometricMean(const std::vector<double> &Xs);
+
+/// A fixed-bucket histogram over [0, BucketWidth * NumBuckets), with an
+/// overflow bucket. Used e.g. for load-latency distributions.
+class Histogram {
+public:
+  Histogram(double BucketWidth, unsigned NumBuckets)
+      : Width(BucketWidth), Counts(NumBuckets + 1, 0) {
+    assert(BucketWidth > 0 && NumBuckets > 0 && "degenerate histogram");
+  }
+
+  void addSample(double X) {
+    ++Total;
+    if (X < 0)
+      X = 0;
+    size_t Idx = static_cast<size_t>(X / Width);
+    if (Idx >= Counts.size() - 1)
+      Idx = Counts.size() - 1; // overflow bucket
+    ++Counts[Idx];
+  }
+
+  uint64_t total() const { return Total; }
+  uint64_t bucketCount(size_t Idx) const { return Counts[Idx]; }
+  size_t numBuckets() const { return Counts.size(); }
+
+  /// Fraction of samples at or below bucket \p Idx (inclusive CDF).
+  double cdfAt(size_t Idx) const;
+
+private:
+  double Width;
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_SUPPORT_STATISTICS_H

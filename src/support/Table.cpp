@@ -1,0 +1,103 @@
+//===- Table.cpp ----------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace trident;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addSeparator() { Rows.emplace_back(); }
+
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : S) {
+    if (C >= '0' && C <= '9') {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == '%' || C == 'x' || C == 'e')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows) {
+    if (Row.empty())
+      continue;
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  auto renderRule = [&](std::string &Out) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      Out += '+';
+      Out.append(Widths[I] + 2, '-');
+    }
+    Out += "+\n";
+  };
+
+  auto renderCells = [&](std::string &Out,
+                         const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out += "| ";
+      const std::string &Cell = Cells[I];
+      size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+      Out += ' ';
+    }
+    Out += "|\n";
+  };
+
+  std::string Out;
+  renderRule(Out);
+  renderCells(Out, Header);
+  renderRule(Out);
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      renderRule(Out);
+      continue;
+    }
+    renderCells(Out, Row);
+  }
+  renderRule(Out);
+  return Out;
+}
+
+std::string trident::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string trident::formatPercent(double Fraction, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buf;
+}

@@ -1,0 +1,19 @@
+//===- Types.h - Shared scalar type aliases --------------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_SUPPORT_TYPES_H
+#define TRIDENT_SUPPORT_TYPES_H
+
+#include <cstdint>
+
+namespace trident {
+
+/// Absolute simulation time in processor cycles.
+using Cycle = uint64_t;
+
+} // namespace trident
+
+#endif // TRIDENT_SUPPORT_TYPES_H

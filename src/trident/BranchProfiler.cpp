@@ -1,0 +1,140 @@
+//===- BranchProfiler.cpp -------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trident/BranchProfiler.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace trident;
+
+BranchProfiler::BranchProfiler(const BranchProfilerConfig &Config)
+    : Config(Config) {
+  assert(Config.NumEntries % Config.Assoc == 0 &&
+         "entries must divide evenly into sets");
+  assert(Config.Rounds >= 1 && Config.Rounds <= 8 && "1..8 capture rounds");
+  assert(Config.BitmapBits <= 16 && "bitmaps are 16 bits wide");
+  Entries.resize(Config.NumEntries);
+}
+
+uint64_t BranchProfiler::estimatedBits(const BranchProfilerConfig &Config) {
+  // Tag (48b) + 4-bit counter per entry, plus the capture unit's three
+  // 16-bit bitmaps and a start-PC register.
+  return static_cast<uint64_t>(Config.NumEntries) * (48 + 4) + 3 * 16 + 48;
+}
+
+BranchProfiler::Entry *BranchProfiler::findOrAllocate(Addr PC) {
+  size_t NumSets = Entries.size() / Config.Assoc;
+  size_t Base = (PC % NumSets) * Config.Assoc;
+  Entry *Victim = &Entries[Base];
+  for (unsigned W = 0; W < Config.Assoc; ++W) {
+    Entry &E = Entries[Base + W];
+    if (E.Valid && E.Tag == PC) {
+      E.LastUse = ++UseClock;
+      return &E;
+    }
+    if (!E.Valid)
+      Victim = &E;
+    else if (Victim->Valid && E.LastUse < Victim->LastUse)
+      Victim = &E;
+  }
+  *Victim = Entry();
+  Victim->Valid = true;
+  Victim->Tag = PC;
+  Victim->LastUse = ++UseClock;
+  return Victim;
+}
+
+void BranchProfiler::abortCapture() {
+  // Let the loop retry later: decay the counter rather than zeroing it.
+  Entry *E = findOrAllocate(Cap.StartPC);
+  E->Count.reset(E->Count.max() / 2);
+  Cap = CaptureState();
+}
+
+std::optional<HotTraceCandidate> BranchProfiler::onCommit(Addr PC) {
+  if (!Cap.Armed && !Cap.Recording)
+    return std::nullopt;
+
+  if (Cap.Armed) {
+    if (PC != Cap.StartPC)
+      return std::nullopt;
+    // Start the first recording round.
+    Cap.Armed = false;
+    Cap.Recording = true;
+    Cap.Bits = 0;
+    Cap.NumBits = 0;
+    Cap.Commits = 0;
+    Cap.Round = 0;
+    return std::nullopt;
+  }
+
+  // Recording.
+  if (++Cap.Commits > Config.MaxCaptureCommits) {
+    abortCapture();
+    return std::nullopt;
+  }
+  if (PC != Cap.StartPC)
+    return std::nullopt;
+
+  // Loop closed: one round complete.
+  Cap.RoundBits[Cap.Round] = Cap.Bits;
+  Cap.RoundLens[Cap.Round] = Cap.NumBits;
+  ++Cap.Round;
+
+  // Rounds must agree with the first one.
+  if (Cap.RoundBits[Cap.Round - 1] != Cap.RoundBits[0] ||
+      Cap.RoundLens[Cap.Round - 1] != Cap.RoundLens[0]) {
+    abortCapture();
+    return std::nullopt;
+  }
+
+  if (Cap.Round >= Config.Rounds) {
+    HotTraceCandidate C;
+    C.StartPC = Cap.StartPC;
+    C.Bitmap = Cap.RoundBits[0];
+    C.NumBranches = Cap.RoundLens[0];
+    Entry *E = findOrAllocate(Cap.StartPC);
+    E->Count.reset();
+    Cap = CaptureState();
+    return C;
+  }
+
+  // Next round.
+  Cap.Bits = 0;
+  Cap.NumBits = 0;
+  Cap.Commits = 0;
+  return std::nullopt;
+}
+
+void BranchProfiler::onBranch(Addr PC, bool Conditional, bool Taken,
+                              Addr Target) {
+  // Record directions while capturing.
+  if (Cap.Recording && Conditional) {
+    if (Cap.NumBits >= Config.BitmapBits) {
+      // Path too long for the capture hardware: give up on this loop.
+      Entry *E = findOrAllocate(Cap.StartPC);
+      E->Count.reset();
+      Cap = CaptureState();
+    } else {
+      if (Taken)
+        Cap.Bits = static_cast<uint16_t>(Cap.Bits | (1u << Cap.NumBits));
+      ++Cap.NumBits;
+    }
+  }
+
+  // Backward taken edges identify loop heads.
+  if (!Taken || Target > PC)
+    return;
+  if (Suppressed.count(Target))
+    return;
+  Entry *E = findOrAllocate(Target);
+  E->Count.increment();
+  if (E->Count.isSaturated() && !Cap.Armed && !Cap.Recording) {
+    Cap.Armed = true;
+    Cap.StartPC = Target;
+  }
+}

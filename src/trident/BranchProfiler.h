@@ -1,0 +1,110 @@
+//===- BranchProfiler.h - Hardware hot-trace detection ---------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trident's generic branch profiler (Table 2: 256 entries, 4-way
+/// associative, a 4-bit counter per entry, and three standalone 16-bit
+/// direction bitmaps). It counts visits to backward-branch targets (loop
+/// heads); when a counter saturates, a capture unit records the directions
+/// of the next conditional branches until execution returns to the start
+/// PC — three times. Three identical captures identify a stable hot path,
+/// and the profiler raises a hot-trace event carrying "a starting PC
+/// followed by a branch direction bitmap" (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_TRIDENT_BRANCHPROFILER_H
+#define TRIDENT_TRIDENT_BRANCHPROFILER_H
+
+#include "isa/Instruction.h"
+#include "support/SaturatingCounter.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace trident {
+
+struct BranchProfilerConfig {
+  unsigned NumEntries = 256;
+  unsigned Assoc = 4;
+  /// Bits per direction bitmap ("three standalone 16-bit bitmaps").
+  unsigned BitmapBits = 16;
+  /// Identical capture rounds required before an event fires.
+  unsigned Rounds = 3;
+  /// Abandon a capture that runs longer than this many committed
+  /// instructions without closing the loop.
+  unsigned MaxCaptureCommits = 4096;
+};
+
+/// A detected hot trace: start PC plus the conditional-branch direction
+/// bitmap along the hot path (bit i = direction of the i-th conditional
+/// branch after the start PC; 1 = taken).
+struct HotTraceCandidate {
+  Addr StartPC = 0;
+  uint16_t Bitmap = 0;
+  uint8_t NumBranches = 0;
+};
+
+class BranchProfiler {
+public:
+  explicit BranchProfiler(const BranchProfilerConfig &Config = {});
+
+  /// Feed every committed instruction of the *original* program region
+  /// (the runtime excludes code-cache commits). May complete a capture
+  /// round and return a hot-trace candidate.
+  std::optional<HotTraceCandidate> onCommit(Addr PC);
+
+  /// Feed committed control transfers. \p Conditional distinguishes
+  /// conditional branches (whose directions the capture records) from
+  /// unconditional jumps (which only contribute backward-edge detection).
+  void onBranch(Addr PC, bool Conditional, bool Taken, Addr Target);
+
+  /// Suppresses future events for \p StartPC (the runtime calls this once
+  /// a trace is linked for it).
+  void suppress(Addr StartPC) { Suppressed.insert(StartPC); }
+  void unsuppress(Addr StartPC) { Suppressed.erase(StartPC); }
+
+  const BranchProfilerConfig &config() const { return Config; }
+  bool captureInProgress() const { return Cap.Armed || Cap.Recording; }
+
+  /// SRAM estimate for the Section 5.4 comparison.
+  static uint64_t estimatedBits(const BranchProfilerConfig &Config);
+
+private:
+  struct Entry {
+    bool Valid = false;
+    Addr Tag = 0;
+    FourBitCounter Count;
+    uint64_t LastUse = 0;
+  };
+
+  struct CaptureState {
+    bool Armed = false;     ///< Waiting for StartPC to commit.
+    bool Recording = false; ///< Between StartPC commits.
+    Addr StartPC = 0;
+    uint16_t Bits = 0;
+    uint8_t NumBits = 0;
+    unsigned Commits = 0;
+    unsigned Round = 0;
+    uint16_t RoundBits[8] = {};
+    uint8_t RoundLens[8] = {};
+  };
+
+  Entry *findOrAllocate(Addr PC);
+  void abortCapture();
+
+  BranchProfilerConfig Config;
+  std::vector<Entry> Entries;
+  CaptureState Cap;
+  std::unordered_set<Addr> Suppressed;
+  uint64_t UseClock = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_TRIDENT_BRANCHPROFILER_H

@@ -1,0 +1,38 @@
+//===- CodeCache.cpp ------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trident/CodeCache.h"
+
+using namespace trident;
+
+Addr CodeCache::install(const std::vector<Instruction> &Body,
+                        uint32_t TraceId) {
+  assert(!Body.empty() && "installing an empty trace");
+  Addr Start = Base + Slots.size();
+  Slots.insert(Slots.end(), Body.begin(), Body.end());
+  SlotTraceIds.insert(SlotTraceIds.end(), Body.size(), TraceId);
+  return Start;
+}
+
+void BinaryPatcher::patchJump(Addr At, Addr Target) {
+  auto It = Saved.find(At);
+  if (It == Saved.end())
+    Saved.emplace(At, Prog.at(At));
+  Instruction J = makeJump(Target);
+  J.OrigPC = At;
+  // The entry jump is runtime-added glue: the instruction it replaced
+  // lives on as the first instruction of the trace, so the jump itself
+  // must not count toward original-program IPC.
+  J.Synthetic = true;
+  Prog.at(At) = J;
+}
+
+void BinaryPatcher::restore(Addr At) {
+  auto It = Saved.find(At);
+  assert(It != Saved.end() && "restoring an unpatched address");
+  Prog.at(At) = It->second;
+  Saved.erase(It);
+}

@@ -1,0 +1,56 @@
+//===- Registration.h - Helper-thread registration structure ---*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trident's registration structure (Section 3.1): a record in the
+/// program's address space holding everything needed to spawn the
+/// optimization helper thread quickly — "a pointer to the starting code
+/// of the helper thread, as well as the stack pointer, global data
+/// pointer, pointer to the code cache structure, and thread priority...
+/// it provides a fast mechanism for spawning an optimization thread, and
+/// an efficient mechanism to keep track of state across context switches
+/// and helper thread invocations."
+///
+/// In this reproduction the helper thread's *work* is modeled by a costed
+/// stub (see SmtCore::startStub), so the registration structure's role is
+/// bookkeeping: the runtime initializes it once, the 2000-cycle startup
+/// latency represents loading it into the spare context, and its fields
+/// anchor the addresses the optimizer operates on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_TRIDENT_REGISTRATION_H
+#define TRIDENT_TRIDENT_REGISTRATION_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+
+namespace trident {
+
+struct RegistrationStructure {
+  /// Starting PC of the helper thread's runtime-optimizer code.
+  Addr HelperStartPC = 0;
+  /// Helper thread's private stack.
+  Addr StackPointer = 0;
+  /// Global data pointer of the runtime system.
+  Addr GlobalDataPointer = 0;
+  /// The code cache structure the optimizer writes traces into.
+  Addr CodeCachePointer = 0;
+  /// Hardware priority: the helper runs below the main thread so
+  /// optimization steals only spare issue slots (Section 5.1).
+  enum class Priority : uint8_t { Low, Normal, High } ThreadPriority =
+      Priority::Low;
+  /// Set while a helper invocation is outstanding (state kept across
+  /// context switches).
+  bool HelperActive = false;
+  /// Number of helper invocations spawned through this structure.
+  uint64_t Invocations = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_TRIDENT_REGISTRATION_H

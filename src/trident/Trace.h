@@ -1,0 +1,45 @@
+//===- Trace.h - A streamlined hot trace -----------------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hot trace: frequently executed basic blocks streamlined into a single
+/// straight-line body with side exits (Section 3.2). A looping trace ends
+/// with a jump back to the original loop-head PC; because that address is
+/// patched with a jump into the (latest) trace, every iteration
+/// automatically picks up re-optimized versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_TRIDENT_TRACE_H
+#define TRIDENT_TRIDENT_TRACE_H
+
+#include "isa/Instruction.h"
+
+#include <vector>
+
+namespace trident {
+
+struct Trace {
+  uint32_t Id = 0;
+  /// Loop-head PC in the original binary.
+  Addr OrigStart = 0;
+  /// Code-cache placement (0 until installed).
+  Addr CacheAddr = 0;
+  /// The trace body. Conditional branches are side exits into original
+  /// code; a looping trace's final instruction jumps to OrigStart.
+  std::vector<Instruction> Body;
+  /// True when the trace closes back on its own head (a loop).
+  bool ClosesLoop = false;
+  /// Provenance: the profiler bitmap this trace was formed from.
+  uint16_t Bitmap = 0;
+  uint8_t NumBranches = 0;
+
+  size_t size() const { return Body.size(); }
+};
+
+} // namespace trident
+
+#endif // TRIDENT_TRIDENT_TRACE_H

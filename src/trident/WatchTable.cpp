@@ -1,0 +1,95 @@
+//===- WatchTable.cpp -----------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trident/WatchTable.h"
+
+#include <cassert>
+
+using namespace trident;
+
+WatchTable::WatchTable(unsigned NumEntries) {
+  assert(NumEntries > 0 && "watch table needs at least one entry");
+  Entries.resize(NumEntries);
+  LastTouch.assign(NumEntries, 0);
+}
+
+bool WatchTable::insert(uint32_t TraceId, Addr OrigStart, Addr TraceStart,
+                        unsigned Length) {
+  if (find(TraceId))
+    return false;
+  size_t VictimIdx = 0;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (!Entries[I].Valid) {
+      VictimIdx = I;
+      break;
+    }
+    if (LastTouch[I] < LastTouch[VictimIdx])
+      VictimIdx = I;
+  }
+  WatchEntry &E = Entries[VictimIdx];
+  E = WatchEntry();
+  E.Valid = true;
+  E.TraceId = TraceId;
+  E.OrigStart = OrigStart;
+  E.TraceStart = TraceStart;
+  E.Length = Length;
+  LastTouch[VictimIdx] = ++TouchClock;
+  return true;
+}
+
+void WatchTable::remove(uint32_t TraceId) {
+  for (WatchEntry &E : Entries)
+    if (E.Valid && E.TraceId == TraceId)
+      E.Valid = false;
+}
+
+WatchEntry *WatchTable::find(uint32_t TraceId) {
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    WatchEntry &E = Entries[I];
+    if (E.Valid && E.TraceId == TraceId) {
+      LastTouch[I] = ++TouchClock;
+      return &E;
+    }
+  }
+  return nullptr;
+}
+
+const WatchEntry *WatchTable::find(uint32_t TraceId) const {
+  return const_cast<WatchTable *>(this)->find(TraceId);
+}
+
+WatchEntry *WatchTable::findByOrigStart(Addr OrigStart) {
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    WatchEntry &E = Entries[I];
+    if (E.Valid && E.OrigStart == OrigStart) {
+      LastTouch[I] = ++TouchClock;
+      return &E;
+    }
+  }
+  return nullptr;
+}
+
+void WatchTable::recordIteration(uint32_t TraceId, Cycle IterTime) {
+  WatchEntry *E = find(TraceId);
+  if (!E)
+    return;
+  if (IterTime < E->MinExecTime)
+    E->MinExecTime = IterTime;
+  E->IterTimeSum += IterTime;
+  ++E->IterCount;
+}
+
+unsigned WatchTable::size() const {
+  unsigned N = 0;
+  for (const WatchEntry &E : Entries)
+    N += E.Valid;
+  return N;
+}
+
+uint64_t WatchTable::estimatedBits(unsigned NumEntries) {
+  // Start PC (48b) + length (12b) + min exec time (24b) + flags (2b).
+  return static_cast<uint64_t>(NumEntries) * (48 + 12 + 24 + 2);
+}

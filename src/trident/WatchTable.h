@@ -1,0 +1,88 @@
+//===- WatchTable.h - Hot-trace performance monitor ------------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trident's watch table (Table 2: 256 entries) monitors the hot traces
+/// currently linked into execution. Per the paper it records the trace
+/// starting PC, length, the *minimal* execution time observed for the
+/// trace (used to compute a load's maximal prefetch distance, Section
+/// 3.5.2), and the trace optimization flag that suppresses duplicate
+/// re-optimization events while the helper thread works on the trace.
+/// We additionally keep the running average iteration time, which the
+/// "basic" (non-adaptive) distance estimator divides into the average
+/// miss latency (Section 3.5, equation 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_TRIDENT_WATCHTABLE_H
+#define TRIDENT_TRIDENT_WATCHTABLE_H
+
+#include "isa/Instruction.h"
+#include "support/Types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace trident {
+
+struct WatchEntry {
+  bool Valid = false;
+  uint32_t TraceId = 0;
+  Addr OrigStart = 0;  ///< Loop-head PC in the original binary.
+  Addr TraceStart = 0; ///< Code-cache address of the trace body.
+  unsigned Length = 0;
+  /// Minimal observed head-to-head iteration time (best case: all hits).
+  Cycle MinExecTime = ~static_cast<Cycle>(0);
+  /// Running average iteration time (for the basic distance estimate).
+  uint64_t IterTimeSum = 0;
+  uint64_t IterCount = 0;
+  /// Set while the helper thread is re-optimizing this trace.
+  bool OptInProgress = false;
+
+  bool hasTiming() const { return IterCount > 0; }
+  double avgExecTime() const {
+    return IterCount == 0 ? 0.0
+                          : static_cast<double>(IterTimeSum) / IterCount;
+  }
+};
+
+class WatchTable {
+public:
+  explicit WatchTable(unsigned NumEntries = 256);
+
+  /// Registers a linked trace; evicts the least-recently-updated entry if
+  /// full. Returns false if an entry for the same TraceId already exists.
+  bool insert(uint32_t TraceId, Addr OrigStart, Addr TraceStart,
+              unsigned Length);
+
+  /// Removes the entry for \p TraceId (trace unlinked/replaced).
+  void remove(uint32_t TraceId);
+
+  WatchEntry *find(uint32_t TraceId);
+  const WatchEntry *find(uint32_t TraceId) const;
+
+  /// Finds the entry whose *original* start PC is \p OrigStart.
+  WatchEntry *findByOrigStart(Addr OrigStart);
+
+  /// Records one observed head-to-head iteration of \p TraceId.
+  void recordIteration(uint32_t TraceId, Cycle IterTime);
+
+  unsigned size() const;
+  unsigned capacity() const { return static_cast<unsigned>(Entries.size()); }
+
+  /// Total SRAM bits this structure would occupy (the Section 5.4
+  /// "spend it on a bigger L1 instead" comparison).
+  static uint64_t estimatedBits(unsigned NumEntries);
+
+private:
+  std::vector<WatchEntry> Entries;
+  std::vector<uint64_t> LastTouch;
+  uint64_t TouchClock = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_TRIDENT_WATCHTABLE_H

@@ -1,0 +1,166 @@
+//===- dlt_test.cpp - Unit tests for the Delinquent Load Table -------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dlt/DelinquentLoadTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+namespace {
+DltConfig smallDlt() {
+  DltConfig C;
+  C.NumEntries = 64;
+  C.Assoc = 2;
+  C.MonitorWindow = 16;
+  C.MissThreshold = 4;
+  C.LatencyThreshold = 12;
+  return C;
+}
+
+} // namespace
+
+TEST(Dlt, DelinquentLoadRaisesEventAtWindowBoundary) {
+  DelinquentLoadTable T(smallDlt());
+  bool Event = false;
+  for (unsigned I = 0; I < 16; ++I)
+    Event |= T.update(0x100, 0x1000 + I * 64, /*Miss=*/true, 300);
+  EXPECT_TRUE(Event);
+  EXPECT_EQ(T.stats().Events, 1u);
+}
+
+TEST(Dlt, EventRequiresFullWindow) {
+  DelinquentLoadTable T(smallDlt());
+  bool Event = false;
+  for (unsigned I = 0; I < 15; ++I) // one short of the window
+    Event |= T.update(0x100, 0x1000 + I * 64, true, 300);
+  EXPECT_FALSE(Event);
+}
+
+TEST(Dlt, LowMissCountWindowResets) {
+  DelinquentLoadTable T(smallDlt());
+  bool Event = false;
+  for (unsigned I = 0; I < 16; ++I)
+    Event |= T.update(0x100, 0x1000 + I * 64, /*Miss=*/I < 3, 300);
+  EXPECT_FALSE(Event); // 3 misses < threshold of 4
+  std::optional<DltSnapshot> S = T.lookup(0x100);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Accesses, 0u); // window reset
+  EXPECT_EQ(T.stats().WindowsCompleted, 1u);
+}
+
+TEST(Dlt, LowLatencyMissesDoNotQualify) {
+  DelinquentLoadTable T(smallDlt());
+  bool Event = false;
+  for (unsigned I = 0; I < 16; ++I)
+    Event |= T.update(0x100, 0x1000 + I * 64, true, /*MissLatency=*/8);
+  EXPECT_FALSE(Event); // avg 8 <= threshold 12 (L2-served loads filtered)
+}
+
+TEST(Dlt, CountersFreezeAfterEventUntilCleared) {
+  DelinquentLoadTable T(smallDlt());
+  for (unsigned I = 0; I < 16; ++I)
+    T.update(0x100, 0x1000 + I * 64, true, 300);
+  std::optional<DltSnapshot> S1 = T.lookup(0x100);
+  ASSERT_TRUE(S1.has_value());
+  EXPECT_EQ(S1->Accesses, 16u);
+  // Updates while frozen do not count (the helper has not read them yet).
+  T.update(0x100, 0x9000, true, 300);
+  EXPECT_EQ(T.lookup(0x100)->Accesses, 16u);
+  // Clearing unfreezes and restarts the window.
+  T.clearWindow(0x100);
+  EXPECT_EQ(T.lookup(0x100)->Accesses, 0u);
+  T.update(0x100, 0x9040, true, 300);
+  EXPECT_EQ(T.lookup(0x100)->Accesses, 1u);
+}
+
+TEST(Dlt, StrideConfidenceDiscipline) {
+  DelinquentLoadTable T(smallDlt());
+  // 15 equal strides + the initial observation reach confidence 15.
+  for (unsigned I = 0; I < 17; ++I)
+    T.update(0x100, 0x1000 + I * 64, false, 0);
+  std::optional<DltSnapshot> S = T.lookup(0x100);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->StridePredictable);
+  EXPECT_EQ(S->Stride, 64);
+  // One irregular address: -7 drops it below predictable.
+  T.update(0x100, 0x999999, false, 0);
+  EXPECT_FALSE(T.lookup(0x100)->StridePredictable);
+}
+
+TEST(Dlt, StrideTracksEvenWhileFrozen) {
+  DelinquentLoadTable T(smallDlt());
+  for (unsigned I = 0; I < 16; ++I)
+    T.update(0x100, 0x1000 + I * 64, true, 300); // fires & freezes
+  for (unsigned I = 16; I < 40; ++I)
+    T.update(0x100, 0x1000 + I * 64, true, 300);
+  EXPECT_TRUE(T.lookup(0x100)->StridePredictable);
+}
+
+TEST(Dlt, MatureSuppressesEvents) {
+  DelinquentLoadTable T(smallDlt());
+  for (unsigned I = 0; I < 16; ++I)
+    T.update(0x100, 0x1000 + I * 64, true, 300);
+  T.clearWindow(0x100);
+  T.setMature(0x100, true);
+  bool Event = false;
+  for (unsigned I = 0; I < 64; ++I)
+    Event |= T.update(0x100, 0x5000 + I * 64, true, 300);
+  EXPECT_FALSE(Event);
+}
+
+TEST(Dlt, ForceMatureAllocatesEntry) {
+  DelinquentLoadTable T(smallDlt());
+  T.forceMature(0xABC);
+  std::optional<DltSnapshot> S = T.lookup(0xABC);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->Mature);
+}
+
+TEST(Dlt, MatureFlagLostOnReplacement) {
+  DltConfig C = smallDlt();
+  C.NumEntries = 4; // 2 sets x 2 ways
+  DelinquentLoadTable T(C);
+  T.forceMature(0x100);
+  // Two more PCs in the same set (set index = PC & 1) evict it.
+  T.update(0x102, 0x1, true, 300);
+  T.update(0x104, 0x2, true, 300);
+  std::optional<DltSnapshot> S = T.lookup(0x100);
+  EXPECT_FALSE(S.has_value()); // replaced: "the only way the mature flag
+                               // was cleared" (Section 3.5.2)
+  EXPECT_GE(T.stats().Replacements, 1u);
+}
+
+TEST(Dlt, PartialWindowClassification) {
+  DelinquentLoadTable T(smallDlt());
+  // Half a window of 100% misses at high latency: delinquent by the
+  // partial-window rule of Section 3.4.1.
+  for (unsigned I = 0; I < 8; ++I)
+    T.update(0x100, 0x1000 + I * 64, true, 300);
+  EXPECT_TRUE(T.isDelinquent(0x100));
+  // A single access: below the minimum sample (window/8 = 2).
+  T.update(0x200, 0x1000, true, 300);
+  EXPECT_FALSE(T.isDelinquent(0x200));
+}
+
+TEST(Dlt, SnapshotArithmetic) {
+  DltSnapshot S;
+  S.Accesses = 100;
+  S.Misses = 10;
+  S.TotalMissLatency = 3000;
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.1);
+  EXPECT_DOUBLE_EQ(S.avgMissLatency(), 300.0);
+  EXPECT_DOUBLE_EQ(S.avgAccessLatency(), 30.0);
+}
+
+TEST(Dlt, BaselineConfigMatchesPaper) {
+  DltConfig C = DltConfig::baseline();
+  EXPECT_EQ(C.NumEntries, 1024u); // Table 2
+  EXPECT_EQ(C.Assoc, 2u);
+  EXPECT_EQ(C.MonitorWindow, 256u);  // access counter threshold
+  EXPECT_EQ(C.MissThreshold, 8u);    // ~3% miss rate
+  EXPECT_EQ(C.StrideConfidentAt, 15);
+}

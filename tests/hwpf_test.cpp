@@ -1,0 +1,206 @@
+//===- hwpf_test.cpp - Unit tests for src/hwpf -----------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hwpf/StreamBuffer.h"
+#include "hwpf/StridePredictor.h"
+#include "mem/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+//===----------------------------------------------------------------------===//
+// StridePredictor
+//===----------------------------------------------------------------------===//
+
+TEST(StridePredictor, LearnsConstantStride) {
+  StridePredictor P(64);
+  for (int I = 0; I < 5; ++I)
+    P.train(0x100, 0x1000 + I * 64);
+  ASSERT_TRUE(P.predict(0x100).has_value());
+  EXPECT_EQ(*P.predict(0x100), 64);
+  EXPECT_EQ(*P.lastAddress(0x100), 0x1000u + 4 * 64);
+}
+
+TEST(StridePredictor, NoConfidenceNoPrediction) {
+  StridePredictor P(64);
+  P.train(0x100, 0x1000);
+  P.train(0x100, 0x1040);
+  // One observed stride is not confidence.
+  EXPECT_FALSE(P.predict(0x100).has_value());
+}
+
+TEST(StridePredictor, RandomAddressesNeverPredict) {
+  StridePredictor P(64);
+  uint64_t A = 0x1000;
+  for (int I = 0; I < 50; ++I) {
+    A = A * 6364136223846793005ull + 1442695040888963407ull;
+    P.train(0x100, A & 0xFFFFF8);
+  }
+  EXPECT_FALSE(P.predict(0x100).has_value());
+}
+
+TEST(StridePredictor, ZeroStrideNeverPredicts) {
+  StridePredictor P(64);
+  for (int I = 0; I < 10; ++I)
+    P.train(0x100, 0x1000);
+  EXPECT_FALSE(P.predict(0x100).has_value());
+}
+
+TEST(StridePredictor, AliasingStealsEntries) {
+  StridePredictor P(16);
+  for (int I = 0; I < 5; ++I)
+    P.train(0x100, 0x1000 + I * 64);
+  EXPECT_TRUE(P.predict(0x100).has_value());
+  // PC 0x110 maps to the same index (0x100 & 15 == 0x110 & 15 == 0).
+  P.train(0x110, 0x9000);
+  EXPECT_FALSE(P.predict(0x100).has_value()); // entry stolen
+}
+
+TEST(StridePredictor, NegativeStride) {
+  StridePredictor P(64);
+  for (int I = 0; I < 5; ++I)
+    P.train(0x100, 0x10000 - I * 128);
+  ASSERT_TRUE(P.predict(0x100).has_value());
+  EXPECT_EQ(*P.predict(0x100), -128);
+}
+
+//===----------------------------------------------------------------------===//
+// StreamBufferUnit (through a real MemorySystem backend)
+//===----------------------------------------------------------------------===//
+
+namespace {
+MemSystemConfig sbBackendConfig() {
+  MemSystemConfig C;
+  C.L1 = {"L1", 1024, 2, 64, 3};
+  C.L2 = {"L2", 8192, 4, 64, 11};
+  C.L3 = {"L3", 65536, 4, 64, 35};
+  C.MemoryLatency = 350;
+  C.BusOccupancy = 6;
+  return C;
+}
+
+/// Trains the unit with a miss sequence at the given stride until the
+/// predictor gains confidence and a buffer allocates.
+void primeStream(StreamBufferUnit &U, MemorySystem &M, Addr PC, Addr Base,
+                 int64_t Stride, unsigned N) {
+  for (unsigned I = 0; I < N; ++I)
+    U.trainOnMiss(PC, Base + I * Stride, /*Now=*/I * 10, M);
+}
+} // namespace
+
+TEST(StreamBuffer, AllocatesAfterConfidence) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config4x4());
+  EXPECT_EQ(U.numActiveBuffers(), 0u);
+  primeStream(U, M, 0x100, 0x10000, 64, 2);
+  EXPECT_EQ(U.numActiveBuffers(), 0u); // not confident yet
+  primeStream(U, M, 0x100, 0x10080, 64, 3);
+  EXPECT_EQ(U.numActiveBuffers(), 1u);
+  EXPECT_GE(U.stats().LinesPrefetched, 1u);
+}
+
+TEST(StreamBuffer, ProbeHitConsumesAndRunsAhead) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config8x8());
+  // Allocation happens at the 4th miss (2-bit confidence); the buffer then
+  // holds the next two lines (gradual ramp).
+  primeStream(U, M, 0x100, 0x10000, 64, 4);
+  uint64_t Before = U.stats().LinesPrefetched;
+  std::optional<Cycle> R = U.probe(0x10000 + 4 * 64, 1000, M);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(U.stats().ProbeHits, 1u);
+  EXPECT_GT(U.stats().LinesPrefetched, Before); // refilled after consume
+  // Successive probes keep hitting as the stream runs ahead.
+  EXPECT_TRUE(U.probe(0x10000 + 5 * 64, 1010, M).has_value());
+  EXPECT_TRUE(U.probe(0x10000 + 6 * 64, 1020, M).has_value());
+}
+
+TEST(StreamBuffer, ProbeMissOnUnrelatedLine) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config8x8());
+  primeStream(U, M, 0x100, 0x10000, 64, 6);
+  EXPECT_FALSE(U.probe(0x90000, 1000, M).has_value());
+  EXPECT_GE(U.stats().ProbeMisses, 1u);
+}
+
+TEST(StreamBuffer, LruStealWhenOverSubscribed) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config4x4());
+  // Six concurrent streams onto four buffers.
+  for (unsigned S = 0; S < 6; ++S)
+    primeStream(U, M, 0x100 + S, 0x100000 * (S + 1), 64, 5);
+  EXPECT_EQ(U.numActiveBuffers(), 4u);
+  EXPECT_GE(U.stats().Allocations, 6u);
+}
+
+TEST(StreamBuffer, TrackingPreventsReallocStorm) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config8x8());
+  primeStream(U, M, 0x100, 0x10000, 64, 5);
+  uint64_t AllocsAfterPrime = U.stats().Allocations;
+  // A consuming stream (probe + trailing in-flight misses, as demand
+  // produces them) keeps the buffer tracking without reallocation.
+  for (unsigned I = 4; I < 12; ++I) {
+    U.probe(0x10000 + I * 64, 1000 + I * 10, M);
+    U.trainOnMiss(0x100, 0x10000 + I * 64, 1000 + I * 10, M);
+  }
+  EXPECT_EQ(U.stats().Allocations, AllocsAfterPrime);
+}
+
+TEST(StreamBuffer, StreamJumpRePrimes) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config8x8());
+  primeStream(U, M, 0x100, 0x10000, 64, 5);
+  uint64_t Allocs = U.stats().Allocations;
+  // Same PC, same stride, far-away address: the stream jumped.
+  U.trainOnMiss(0x100, 0x80000, 500, M);
+  U.trainOnMiss(0x100, 0x80040, 510, M);
+  EXPECT_GT(U.stats().Allocations, Allocs);
+}
+
+TEST(StreamBuffer, LargeStrideFetchesDistinctLines) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferUnit U(StreamBufferConfig::config8x8());
+  primeStream(U, M, 0x100, 0x100000, 4096, 5);
+  // Probe several successive stream lines: all should be present over
+  // consecutive probes (refilled as consumed).
+  unsigned Hits = 0;
+  for (unsigned I = 5; I < 9; ++I)
+    Hits += U.probe(0x100000 + I * 4096, 2000 + I, M).has_value();
+  EXPECT_GE(Hits, 2u);
+}
+
+TEST(StreamBuffer, NamesAndConfigs) {
+  StreamBufferUnit U4(StreamBufferConfig::config4x4());
+  StreamBufferUnit U8(StreamBufferConfig::config8x8());
+  EXPECT_EQ(U4.name(), "stream-buffers-4x4");
+  EXPECT_EQ(U8.name(), "stream-buffers-8x8");
+  EXPECT_EQ(U8.config().HistoryEntries, 1024u); // Table 1
+}
+
+TEST(StreamBuffer, PageBoundaryStopWhenConfigured) {
+  MemorySystem M(sbBackendConfig());
+  StreamBufferConfig C = StreamBufferConfig::config8x8();
+  C.StopAtPageBoundary = true;
+  StreamBufferUnit U(C);
+  // Prime near the end of a page with a large stride: the stream may not
+  // run into the next page.
+  Addr Base = 0x10000 + 4096 - 3 * 1024;
+  for (unsigned I = 0; I < 4; ++I)
+    U.trainOnMiss(0x100, Base + I * 1024, I * 10, M);
+  // Entries must all be within the priming page.
+  unsigned HitsInPage = 0, HitsBeyond = 0;
+  for (unsigned I = 4; I < 12; ++I) {
+    Addr A = Base + I * 1024;
+    bool Hit = U.probe(A & ~63ull, 1000 + I, M).has_value();
+    if ((A >> 12) == ((Base + 3 * 1024) >> 12))
+      HitsInPage += Hit;
+    else
+      HitsBeyond += Hit;
+  }
+  EXPECT_EQ(HitsBeyond, 0u);
+}

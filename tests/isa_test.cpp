@@ -1,0 +1,156 @@
+//===- isa_test.cpp - Unit tests for src/isa -------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Instruction.h"
+#include "isa/Opcode.h"
+#include "isa/Program.h"
+#include "isa/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+TEST(Opcode, Names) {
+  EXPECT_STREQ(opcodeName(Opcode::Load), "ld");
+  EXPECT_STREQ(opcodeName(Opcode::NFLoad), "nfld");
+  EXPECT_STREQ(opcodeName(Opcode::Prefetch), "pf");
+  EXPECT_STREQ(opcodeName(Opcode::Beq), "beq");
+  EXPECT_STREQ(opcodeName(Opcode::FAdd), "fadd");
+}
+
+TEST(Opcode, ExecClasses) {
+  EXPECT_EQ(execClass(Opcode::Add), ExecClass::IntAlu);
+  EXPECT_EQ(execClass(Opcode::FMul), ExecClass::FpAlu);
+  EXPECT_EQ(execClass(Opcode::Load), ExecClass::Mem);
+  EXPECT_EQ(execClass(Opcode::Store), ExecClass::Mem);
+  EXPECT_EQ(execClass(Opcode::Prefetch), ExecClass::Mem);
+  EXPECT_EQ(execClass(Opcode::Jump), ExecClass::Branch);
+  EXPECT_EQ(execClass(Opcode::Halt), ExecClass::None);
+}
+
+TEST(Opcode, Latencies) {
+  EXPECT_EQ(executionLatency(Opcode::Add), 1u);
+  EXPECT_EQ(executionLatency(Opcode::Mul), 3u);
+  EXPECT_EQ(executionLatency(Opcode::FAdd), 4u);
+  EXPECT_EQ(executionLatency(Opcode::FDiv), 12u);
+}
+
+TEST(Opcode, RegisterUsagePredicates) {
+  EXPECT_TRUE(writesRd(Opcode::Load));
+  EXPECT_TRUE(writesRd(Opcode::NFLoad));
+  EXPECT_FALSE(writesRd(Opcode::Store));
+  EXPECT_FALSE(writesRd(Opcode::Prefetch));
+  EXPECT_FALSE(writesRd(Opcode::Beq));
+
+  EXPECT_TRUE(readsRs1(Opcode::Load));
+  EXPECT_FALSE(readsRs1(Opcode::LoadImm));
+  EXPECT_FALSE(readsRs1(Opcode::Jump));
+
+  EXPECT_TRUE(readsRs2(Opcode::Store)); // the stored value
+  EXPECT_TRUE(readsRs2(Opcode::Beq));
+  EXPECT_FALSE(readsRs2(Opcode::AddI));
+  EXPECT_FALSE(readsRs2(Opcode::Prefetch));
+}
+
+TEST(Opcode, Categories) {
+  EXPECT_TRUE(isLoad(Opcode::Load));
+  EXPECT_TRUE(isLoad(Opcode::NFLoad));
+  EXPECT_FALSE(isLoad(Opcode::Prefetch));
+  EXPECT_TRUE(isMemAccess(Opcode::Prefetch));
+  EXPECT_TRUE(isConditionalBranch(Opcode::Bge));
+  EXPECT_FALSE(isConditionalBranch(Opcode::Jump));
+  EXPECT_TRUE(isBranch(Opcode::Jump));
+}
+
+TEST(Instruction, Factories) {
+  Instruction Ld = makeLoad(5, 3, 16);
+  EXPECT_EQ(Ld.Op, Opcode::Load);
+  EXPECT_EQ(Ld.Rd, 5);
+  EXPECT_EQ(Ld.Rs1, 3);
+  EXPECT_EQ(Ld.Imm, 16);
+  EXPECT_FALSE(Ld.Synthetic);
+
+  Instruction Pf = makePrefetch(2, 128);
+  EXPECT_EQ(Pf.Op, Opcode::Prefetch);
+  EXPECT_EQ(Pf.Rs1, 2);
+  EXPECT_EQ(Pf.Imm, 128);
+
+  Instruction Br = makeBranch(Opcode::Blt, 1, 2, 0x42);
+  EXPECT_EQ(static_cast<Addr>(Br.Imm), 0x42u);
+  EXPECT_TRUE(Br.isConditionalBranch());
+}
+
+TEST(Instruction, ToStringFormats) {
+  EXPECT_EQ(toString(makeLoad(5, 3, 16)), "ld r5, 16(r3)");
+  EXPECT_EQ(toString(makeStore(3, -8, 7)), "st -8(r3), r7");
+  EXPECT_EQ(toString(makePrefetch(1, 64)), "pf 64(r1)");
+  EXPECT_EQ(toString(makeJump(0x1000)), "jmp 0x1000");
+  EXPECT_EQ(toString(makeMove(2, 9)), "move r2, r9");
+  Instruction Synth = makePrefetch(1, 0);
+  Synth.Synthetic = true;
+  EXPECT_NE(toString(Synth).find("<synthetic>"), std::string::npos);
+}
+
+TEST(ProgramBuilder, LabelsAndFixups) {
+  ProgramBuilder B(0x100);
+  B.loadImm(1, 0);
+  B.label("top");
+  B.addi(1, 1, 1);
+  B.blt(1, 2, "top");     // backward reference
+  B.beq(1, 2, "done");    // forward reference
+  B.nop();
+  B.label("done");
+  B.halt();
+  Program P = B.finish();
+
+  EXPECT_EQ(P.basePC(), 0x100u);
+  EXPECT_EQ(P.entryPC(), 0x100u);
+  EXPECT_EQ(P.size(), 6u);
+  // blt at 0x102 targets "top" = 0x101.
+  EXPECT_EQ(static_cast<Addr>(P.at(0x102).Imm), 0x101u);
+  // beq at 0x103 targets "done" = 0x105.
+  EXPECT_EQ(static_cast<Addr>(P.at(0x103).Imm), 0x105u);
+}
+
+TEST(ProgramBuilder, EntryHere) {
+  ProgramBuilder B(0x10);
+  B.nop();
+  B.entryHere();
+  B.halt();
+  Program P = B.finish();
+  EXPECT_EQ(P.entryPC(), 0x11u);
+}
+
+TEST(Program, BoundsAndMutation) {
+  ProgramBuilder B(0x20);
+  B.nop().halt();
+  Program P = B.finish();
+  EXPECT_TRUE(P.contains(0x20));
+  EXPECT_TRUE(P.contains(0x21));
+  EXPECT_FALSE(P.contains(0x22));
+  // Patching in place (what BinaryPatcher does).
+  P.at(0x20) = makeJump(0x21);
+  EXPECT_EQ(P.at(0x20).Op, Opcode::Jump);
+}
+
+TEST(Program, Disassemble) {
+  ProgramBuilder B(0x40);
+  B.load(1, 2, 8).halt();
+  Program P = B.finish();
+  std::string D = P.disassemble();
+  EXPECT_NE(D.find("0x40: ld r1, 8(r2)"), std::string::npos);
+  EXPECT_NE(D.find("0x41: halt"), std::string::npos);
+}
+
+TEST(ProgramBuilder, BuilderIsReusableAfterFinish) {
+  ProgramBuilder B;
+  B.nop().halt();
+  Program P1 = B.finish();
+  B.label("l").addi(1, 1, 1).jump("l").halt();
+  Program P2 = B.finish();
+  EXPECT_EQ(P1.size(), 2u);
+  EXPECT_EQ(P2.size(), 3u);
+}

@@ -1,0 +1,309 @@
+//===- mem_test.cpp - Unit tests for src/mem -------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/Cache.h"
+#include "mem/DataMemory.h"
+#include "mem/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+//===----------------------------------------------------------------------===//
+// DataMemory
+//===----------------------------------------------------------------------===//
+
+TEST(DataMemory, ReadsZeroWhenUntouched) {
+  DataMemory M;
+  EXPECT_EQ(M.read64(0x12345678), 0u);
+  EXPECT_EQ(M.numPages(), 0u); // reads never materialize pages
+}
+
+TEST(DataMemory, WriteReadRoundTrip) {
+  DataMemory M;
+  M.write64(0x1000, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(M.read64(0x1000), 0xdeadbeefcafebabeull);
+  EXPECT_EQ(M.numPages(), 1u);
+}
+
+TEST(DataMemory, PageStraddlingAccess) {
+  DataMemory M;
+  Addr A = DataMemory::PageSize - 4; // straddles two pages
+  M.write64(A, 0x1122334455667788ull);
+  EXPECT_EQ(M.read64(A), 0x1122334455667788ull);
+  EXPECT_EQ(M.numPages(), 2u);
+  // Byte-level split is little-endian consistent.
+  EXPECT_EQ(M.read64(A + 1) & 0xff, 0x77u);
+}
+
+TEST(DataMemory, UnalignedWithinPage) {
+  DataMemory M;
+  M.write64(0x1003, 42);
+  EXPECT_EQ(M.read64(0x1003), 42u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+CacheConfig tinyCache() {
+  // 4 sets x 2 ways x 64B = 512B.
+  return {"tiny", 512, 2, 64, 3};
+}
+} // namespace
+
+TEST(Cache, GeometryDerivation) {
+  Cache C(tinyCache());
+  EXPECT_EQ(C.numSets(), 4u);
+  EXPECT_EQ(C.lineAddr(0x12345), 0x12340u & ~0x3Fu);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache C(tinyCache());
+  EXPECT_EQ(C.lookup(0x1000).L, nullptr);
+  C.insert(0x1000, /*FillReady=*/10, /*Prefetched=*/false);
+  Cache::LookupResult R = C.lookup(0x1000);
+  ASSERT_NE(R.L, nullptr);
+  EXPECT_EQ(R.L->FillReady, 10u);
+  EXPECT_FALSE(R.L->Prefetched);
+}
+
+TEST(Cache, LruEviction) {
+  Cache C(tinyCache());
+  // Three lines in the same set (set stride = 4 * 64 = 256).
+  C.insert(0x0000, 0, false);
+  C.insert(0x0100, 0, false);
+  C.lookup(0x0000); // touch A so B becomes LRU
+  C.insert(0x0200, 0, false);
+  EXPECT_NE(C.lookup(0x0000).L, nullptr);
+  EXPECT_EQ(C.lookup(0x0100).L, nullptr); // evicted
+  EXPECT_NE(C.lookup(0x0200).L, nullptr);
+}
+
+TEST(Cache, PrefetchVictimTagTracking) {
+  Cache C(tinyCache());
+  C.insert(0x0000, 0, false);
+  C.lookup(0x0000); // demand-touched
+  C.insert(0x0100, 0, false);
+  C.lookup(0x0100);
+  C.lookup(0x0000);
+  // A prefetch displaces 0x0100 (LRU).
+  C.insert(0x0200, 0, /*Prefetched=*/true);
+  // The subsequent miss on 0x0100 is attributable to prefetching.
+  Cache::LookupResult R = C.lookup(0x0100);
+  EXPECT_EQ(R.L, nullptr);
+  EXPECT_TRUE(R.VictimOfPrefetch);
+  // The victim record is consumed: a second miss is ordinary.
+  EXPECT_FALSE(C.lookup(0x0100).VictimOfPrefetch);
+}
+
+TEST(Cache, UntouchedBitSemantics) {
+  Cache C(tinyCache());
+  C.insert(0x1000, 0, /*Prefetched=*/true);
+  const Cache::Line *L = C.peek(0x1000);
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(L->Prefetched);
+  EXPECT_TRUE(L->Untouched);
+}
+
+TEST(Cache, ResetInvalidatesEverything) {
+  Cache C(tinyCache());
+  C.insert(0x1000, 0, false);
+  C.reset();
+  EXPECT_EQ(C.lookup(0x1000).L, nullptr);
+}
+
+TEST(Cache, RefillOfPresentLineKeepsIt) {
+  Cache C(tinyCache());
+  C.insert(0x1000, 5, false);
+  C.insert(0x1000, 99, true); // refresh, not duplicate
+  Cache::LookupResult R = C.lookup(0x1000);
+  ASSERT_NE(R.L, nullptr);
+  EXPECT_EQ(R.L->FillReady, 5u); // original fill time retained
+}
+
+//===----------------------------------------------------------------------===//
+// MemorySystem (no hardware prefetcher)
+//===----------------------------------------------------------------------===//
+
+namespace {
+MemSystemConfig smallConfig() {
+  MemSystemConfig C;
+  C.L1 = {"L1", 1024, 2, 64, 3};
+  C.L2 = {"L2", 4096, 4, 64, 11};
+  C.L3 = {"L3", 16384, 4, 64, 35};
+  C.MemoryLatency = 350;
+  C.BusOccupancy = 6;
+  C.NumMSHRs = 4;
+  return C;
+}
+} // namespace
+
+TEST(MemorySystem, ColdMissPaysMemoryLatency) {
+  MemorySystem M(smallConfig());
+  AccessResult R = M.access(0x1, 0x10000, AccessKind::DemandLoad, 100);
+  EXPECT_EQ(R.Outcome, LoadOutcome::Miss);
+  EXPECT_EQ(R.Level, 4u);
+  EXPECT_GE(R.ReadyCycle, 100u + 350u);
+}
+
+TEST(MemorySystem, SecondAccessHitsL1) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  AccessResult R = M.access(0x1, 0x10000, AccessKind::DemandLoad, 1000);
+  EXPECT_EQ(R.Outcome, LoadOutcome::HitNone);
+  EXPECT_EQ(R.ReadyCycle, 1000u + 3u);
+}
+
+TEST(MemorySystem, InFlightLineIsPartialOrMergedMiss) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  // Ten cycles later the fill (ready ~350) is still in flight.
+  AccessResult R = M.access(0x2, 0x10008, AccessKind::DemandLoad, 10);
+  EXPECT_EQ(R.Outcome, LoadOutcome::Miss); // demand-initiated: merged miss
+  EXPECT_GT(R.ReadyCycle, 300u);
+}
+
+TEST(MemorySystem, PrefetchedLineFirstTouchIsHitPrefetched) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::SoftwarePrefetch, 0);
+  AccessResult R1 = M.access(0x2, 0x10000, AccessKind::DemandLoad, 1000);
+  EXPECT_EQ(R1.Outcome, LoadOutcome::HitPrefetched);
+  AccessResult R2 = M.access(0x2, 0x10000, AccessKind::DemandLoad, 1001);
+  EXPECT_EQ(R2.Outcome, LoadOutcome::HitNone); // only the first touch counts
+}
+
+TEST(MemorySystem, InFlightPrefetchGivesPartialHit) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::SoftwarePrefetch, 0);
+  AccessResult R = M.access(0x2, 0x10000, AccessKind::DemandLoad, 100);
+  EXPECT_EQ(R.Outcome, LoadOutcome::PartialHit);
+  EXPECT_LT(R.ReadyCycle, 100u + 350u); // part of the latency is hidden
+  EXPECT_GT(R.ReadyCycle, 100u + 3u);
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  // L1 is 1KB/2-way/64B = 8 sets; lines 8*64=512 apart share a set. Fill
+  // the set with two more lines to evict 0x10000 from L1 (still in L2).
+  M.access(0x1, 0x10000 + 512, AccessKind::DemandLoad, 1000);
+  M.access(0x1, 0x10000 + 1024, AccessKind::DemandLoad, 2000);
+  AccessResult R = M.access(0x1, 0x10000, AccessKind::DemandLoad, 3000);
+  EXPECT_EQ(R.Outcome, LoadOutcome::Miss);
+  EXPECT_EQ(R.ReadyCycle, 3000u + 3u + 11u); // issue after L1 lookup, L2 hit
+}
+
+TEST(MemorySystem, BusSerializesMemoryFetches) {
+  MemorySystem M(smallConfig());
+  AccessResult R1 = M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  AccessResult R2 = M.access(0x2, 0x20000, AccessKind::DemandLoad, 0);
+  AccessResult R3 = M.access(0x3, 0x30000, AccessKind::DemandLoad, 0);
+  // Each later fetch queues behind the previous one's bus occupancy (6cy).
+  EXPECT_GE(R2.ReadyCycle, R1.ReadyCycle + 6);
+  EXPECT_GE(R3.ReadyCycle, R2.ReadyCycle + 6);
+}
+
+TEST(MemorySystem, MshrExhaustionDelaysFills) {
+  MemSystemConfig C = smallConfig();
+  C.NumMSHRs = 2;
+  MemorySystem M(C);
+  AccessResult R1 = M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  M.access(0x2, 0x20000, AccessKind::DemandLoad, 0);
+  // Third outstanding fill must wait for an MSHR to free.
+  AccessResult R3 = M.access(0x3, 0x30000, AccessKind::DemandLoad, 0);
+  EXPECT_GE(R3.ReadyCycle, R1.ReadyCycle + 350);
+}
+
+TEST(MemorySystem, StatsClassifyDemandLoads) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);       // miss
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 1000);    // hit
+  M.access(0x1, 0x20000, AccessKind::SoftwarePrefetch, 0); // pf
+  M.access(0x1, 0x20000, AccessKind::DemandLoad, 2000);    // hit-prefetched
+  const MemStats &S = M.stats();
+  EXPECT_EQ(S.DemandLoads, 3u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.HitsNone, 1u);
+  EXPECT_EQ(S.HitsPrefetched, 1u);
+  EXPECT_EQ(S.SoftwarePrefetches, 1u);
+  EXPECT_EQ(S.MemoryFetches, 2u);
+}
+
+TEST(MemorySystem, PrefetchOfResidentLineIsCheap) {
+  MemorySystem M(smallConfig());
+  M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  uint64_t FetchesBefore = M.stats().MemoryFetches;
+  M.access(0x1, 0x10000, AccessKind::SoftwarePrefetch, 1000);
+  EXPECT_EQ(M.stats().MemoryFetches, FetchesBefore); // no duplicate fetch
+}
+
+//===----------------------------------------------------------------------===//
+// TLB
+//===----------------------------------------------------------------------===//
+
+TEST(Tlb, HitAfterInstall) {
+  TlbConfig C;
+  C.Enable = true;
+  C.NumEntries = 16;
+  C.Assoc = 4;
+  Tlb T(C);
+  EXPECT_FALSE(T.access(0x1234)); // cold miss installs
+  EXPECT_TRUE(T.access(0x1FF8));  // same 4KB page
+  EXPECT_FALSE(T.access(0x2000)); // next page
+  EXPECT_EQ(T.stats().Misses, 2u);
+  EXPECT_EQ(T.stats().Lookups, 3u);
+}
+
+TEST(Tlb, LruReplacementWithinSet) {
+  TlbConfig C;
+  C.Enable = true;
+  C.NumEntries = 4;
+  C.Assoc = 2; // 2 sets
+  Tlb T(C);
+  // Pages 0, 2, 4 share set 0 (vpn & 1 == 0).
+  T.access(0x0000);
+  T.access(0x2000);
+  T.access(0x0000); // touch page 0 so page 2 is LRU
+  T.access(0x4000); // evicts page 2
+  EXPECT_TRUE(T.present(0x0000));
+  EXPECT_FALSE(T.present(0x2000));
+  EXPECT_TRUE(T.present(0x4000));
+}
+
+TEST(Tlb, MemorySystemWalkPenalty) {
+  MemSystemConfig C = smallConfig();
+  C.Tlb.Enable = true;
+  C.Tlb.WalkLatency = 30;
+  MemorySystem M(C);
+  // First access: TLB miss (30) + memory miss.
+  AccessResult R1 = M.access(0x1, 0x10000, AccessKind::DemandLoad, 0);
+  EXPECT_GE(R1.ReadyCycle, 30u + 350u);
+  // Same page, line resident: pure L1 hit now.
+  AccessResult R2 = M.access(0x1, 0x10000, AccessKind::DemandLoad, 1000);
+  EXPECT_EQ(R2.ReadyCycle, 1003u);
+}
+
+TEST(Tlb, SoftwarePrefetchToColdPageIsDropped) {
+  MemSystemConfig C = smallConfig();
+  C.Tlb.Enable = true;
+  MemorySystem M(C);
+  uint64_t Before = M.stats().MemoryFetches;
+  M.access(0x1, 0x50000, AccessKind::SoftwarePrefetch, 0);
+  EXPECT_EQ(M.stats().MemoryFetches, Before); // dropped, no fetch
+  ASSERT_NE(M.dtlb(), nullptr);
+  EXPECT_EQ(M.dtlb()->stats().PrefetchesDropped, 1u);
+  // After a demand access maps the page, prefetches flow.
+  M.access(0x1, 0x50000, AccessKind::DemandLoad, 10);
+  M.access(0x1, 0x50040, AccessKind::SoftwarePrefetch, 2000);
+  EXPECT_GT(M.stats().MemoryFetches, Before);
+}
+
+TEST(Tlb, DisabledByDefault) {
+  MemorySystem M(smallConfig());
+  EXPECT_EQ(M.dtlb(), nullptr);
+}

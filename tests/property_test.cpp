@@ -1,0 +1,317 @@
+//===- property_test.cpp - Property-based / parameterized suites -----------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+// Parameterized sweeps over random seeds checking the system's load-bearing
+// invariants:
+//   * the timing core computes exactly what a plain interpreter computes,
+//   * dynamic trace optimization (all prefetch modes) never changes program
+//     semantics,
+//   * the memory system's timing answers are sane for arbitrary streams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ProgramBuilder.h"
+#include "sim/Simulation.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+//===----------------------------------------------------------------------===//
+// Random program generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr Addr DataBase = 0x5000'0000;
+
+/// Generates a random but well-formed program: a prologue, a counted loop
+/// whose body mixes ALU ops, strided loads/stores, and an occasional inner
+/// branch with a *stable* direction (so hot traces can form), then Halt.
+/// Registers: r1 loop counter, r2 limit, r3 striding base, r10..r20 data.
+Program randomLoopProgram(uint64_t Seed, unsigned TripCount) {
+  SplitMix64 Rng(Seed);
+  ProgramBuilder B;
+  B.loadImm(1, 0).loadImm(2, TripCount);
+  B.loadImm(3, DataBase);
+  for (unsigned R = 10; R <= 20; ++R)
+    B.loadImm(R, Rng.next() & 0xFFFF);
+  B.label("loop");
+  unsigned BodyLen = 4 + static_cast<unsigned>(Rng.nextBelow(12));
+  for (unsigned I = 0; I < BodyLen; ++I) {
+    unsigned Rd = 10 + static_cast<unsigned>(Rng.nextBelow(11));
+    unsigned Ra = 10 + static_cast<unsigned>(Rng.nextBelow(11));
+    unsigned Rb = 10 + static_cast<unsigned>(Rng.nextBelow(11));
+    switch (Rng.nextBelow(8)) {
+    case 0:
+      B.alu(Opcode::Add, Rd, Ra, Rb);
+      break;
+    case 1:
+      B.alu(Opcode::Sub, Rd, Ra, Rb);
+      break;
+    case 2:
+      B.alu(Opcode::Xor, Rd, Ra, Rb);
+      break;
+    case 3:
+      B.aluImm(Opcode::AddI, Rd, Ra,
+               static_cast<int64_t>(Rng.nextBelow(1000)));
+      break;
+    case 4:
+      B.aluImm(Opcode::ShrI, Rd, Ra, 1 + Rng.nextBelow(8));
+      break;
+    case 5:
+      B.load(Rd, 3, static_cast<int64_t>(Rng.nextBelow(16)) * 8);
+      break;
+    case 6:
+      B.store(3, static_cast<int64_t>(Rng.nextBelow(16)) * 8, Ra);
+      break;
+    case 7: {
+      // Stable inner branch: direction depends on a loop-invariant bit.
+      std::string Skip = "s" + std::to_string(B.here());
+      B.beq(0, 0, Skip); // always taken
+      B.alu(Opcode::Add, Rd, Ra, Rb);
+      B.label(Skip);
+      break;
+    }
+    }
+  }
+  B.addi(3, 3, 64); // striding base: loads become prefetchable
+  B.addi(1, 1, 1);
+  B.blt(1, 2, "loop");
+  B.halt();
+  return B.finish();
+}
+
+/// Reference interpreter: plain sequential semantics, no timing.
+struct Interp {
+  std::array<uint64_t, reg::NumRegs> Regs{};
+  DataMemory Mem;
+  uint64_t Committed = 0;
+
+  void run(const Program &P) {
+    Addr PC = P.entryPC();
+    while (true) {
+      const Instruction &I = P.at(PC);
+      Addr Next = PC + 1;
+      auto rd = [&](unsigned R) { return R == 0 ? 0 : Regs[R]; };
+      auto wr = [&](unsigned R, uint64_t V) {
+        if (R != 0)
+          Regs[R] = V;
+      };
+      ++Committed;
+      switch (I.Op) {
+      case Opcode::Halt:
+        return;
+      case Opcode::Nop:
+        break;
+      case Opcode::Add:
+        wr(I.Rd, rd(I.Rs1) + rd(I.Rs2));
+        break;
+      case Opcode::Sub:
+        wr(I.Rd, rd(I.Rs1) - rd(I.Rs2));
+        break;
+      case Opcode::Xor:
+        wr(I.Rd, rd(I.Rs1) ^ rd(I.Rs2));
+        break;
+      case Opcode::AddI:
+        wr(I.Rd, rd(I.Rs1) + static_cast<uint64_t>(I.Imm));
+        break;
+      case Opcode::ShrI:
+        wr(I.Rd, rd(I.Rs1) >> (I.Imm & 63));
+        break;
+      case Opcode::LoadImm:
+        wr(I.Rd, static_cast<uint64_t>(I.Imm));
+        break;
+      case Opcode::Load:
+      case Opcode::NFLoad:
+        wr(I.Rd, Mem.read64(rd(I.Rs1) + static_cast<uint64_t>(I.Imm)));
+        break;
+      case Opcode::Store:
+        Mem.write64(rd(I.Rs1) + static_cast<uint64_t>(I.Imm), rd(I.Rs2));
+        break;
+      case Opcode::Blt:
+        if (static_cast<int64_t>(rd(I.Rs1)) <
+            static_cast<int64_t>(rd(I.Rs2)))
+          Next = static_cast<Addr>(I.Imm);
+        break;
+      case Opcode::Beq:
+        if (rd(I.Rs1) == rd(I.Rs2))
+          Next = static_cast<Addr>(I.Imm);
+        break;
+      case Opcode::Jump:
+        Next = static_cast<Addr>(I.Imm);
+        break;
+      default:
+        FAIL() << "interpreter: unexpected opcode "
+               << opcodeName(I.Op);
+      }
+      PC = Next;
+    }
+  }
+};
+
+uint64_t regHash(const std::array<uint64_t, reg::NumRegs> &Regs) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned R = 0; R < reg::FirstScratch; ++R)
+    H = (H ^ Regs[R]) * 1099511628211ull;
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Property 1: the timing core is functionally a plain interpreter.
+//===----------------------------------------------------------------------===//
+
+class CoreVsInterpreter : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoreVsInterpreter, IdenticalArchitecturalResults) {
+  Program P = randomLoopProgram(GetParam(), /*TripCount=*/400);
+
+  Interp Ref;
+  Ref.run(P);
+
+  Workload W{"prop", "", P, [](DataMemory &) {}};
+  SimConfig C = SimConfig::hwBaseline();
+  C.WarmupInstructions = 0;
+  C.SimInstructions = 100'000'000;
+  SimResult R = runSimulation(W, C);
+
+  EXPECT_TRUE(R.Halted);
+  EXPECT_EQ(R.Instructions, Ref.Committed);
+  EXPECT_EQ(R.RegChecksum, regHash(Ref.Regs)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreVsInterpreter,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Property 2: dynamic optimization preserves semantics in every mode.
+//===----------------------------------------------------------------------===//
+
+struct ModeSeed {
+  uint64_t Seed;
+  PrefetchMode Mode;
+};
+
+class OptimizationPreservesSemantics
+    : public ::testing::TestWithParam<ModeSeed> {};
+
+TEST_P(OptimizationPreservesSemantics, RegistersAndCommitsMatch) {
+  // Enough iterations that traces form, get prefetch-optimized, and run.
+  Program P = randomLoopProgram(GetParam().Seed, /*TripCount=*/30'000);
+  Workload W{"prop-opt", "", P, [](DataMemory &) {}};
+
+  SimConfig Ref = SimConfig::hwBaseline();
+  Ref.WarmupInstructions = 0;
+  Ref.SimInstructions = 100'000'000;
+  SimResult RRef = runSimulation(W, Ref);
+  ASSERT_TRUE(RRef.Halted);
+
+  SimConfig C = SimConfig::withMode(GetParam().Mode);
+  C.WarmupInstructions = 0;
+  C.SimInstructions = 100'000'000;
+  SimResult R = runSimulation(W, C);
+
+  EXPECT_TRUE(R.Halted);
+  EXPECT_EQ(R.Instructions, RRef.Instructions);
+  EXPECT_EQ(R.RegChecksum, RRef.RegChecksum)
+      << "seed " << GetParam().Seed << " mode "
+      << prefetchModeName(GetParam().Mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, OptimizationPreservesSemantics,
+    ::testing::Values(ModeSeed{11, PrefetchMode::None},
+                      ModeSeed{11, PrefetchMode::Basic},
+                      ModeSeed{11, PrefetchMode::WholeObject},
+                      ModeSeed{11, PrefetchMode::SelfRepairing},
+                      ModeSeed{12, PrefetchMode::SelfRepairing},
+                      ModeSeed{13, PrefetchMode::SelfRepairing},
+                      ModeSeed{14, PrefetchMode::SelfRepairing},
+                      ModeSeed{15, PrefetchMode::Basic},
+                      ModeSeed{16, PrefetchMode::WholeObject},
+                      ModeSeed{17, PrefetchMode::SelfRepairing}),
+    [](const ::testing::TestParamInfo<ModeSeed> &I) {
+      std::string Name = std::string(prefetchModeName(I.param.Mode)) + "_s" +
+                         std::to_string(I.param.Seed);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Property 3: memory-system timing sanity over random access streams.
+//===----------------------------------------------------------------------===//
+
+class MemTimingSanity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemTimingSanity, ReadyCyclesAreSane) {
+  MemorySystem M(MemSystemConfig::baseline());
+  SplitMix64 Rng(GetParam());
+  Cycle Now = 0;
+  for (int I = 0; I < 3000; ++I) {
+    Addr A = (Rng.next() & 0x3FFFFF8); // 64MB region
+    AccessKind K = Rng.nextBelow(4) == 0 ? AccessKind::SoftwarePrefetch
+                                         : AccessKind::DemandLoad;
+    AccessResult R = M.access(/*PC=*/Rng.nextBelow(4096), A, K, Now);
+    // Data can never be ready before the L1 hit time or absurdly late.
+    ASSERT_GE(R.ReadyCycle, Now + 3);
+    ASSERT_LE(R.ReadyCycle, Now + 350 + 35 + 3 + 6 * 3000);
+    Now += Rng.nextBelow(20);
+  }
+  const MemStats &S = M.stats();
+  EXPECT_EQ(S.HitsNone + S.HitsPrefetched + S.PartialHits + S.Misses +
+                S.MissesDueToPrefetch,
+            S.DemandLoads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemTimingSanity,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+//===----------------------------------------------------------------------===//
+// Property 4: DLT configurations never fire events below their criteria.
+//===----------------------------------------------------------------------===//
+
+struct DltParams {
+  unsigned Window;
+  unsigned MissThreshold;
+};
+
+class DltCriteria : public ::testing::TestWithParam<DltParams> {};
+
+TEST_P(DltCriteria, EventsRespectConfiguredThresholds) {
+  DltConfig C;
+  C.NumEntries = 64;
+  C.Assoc = 2;
+  C.MonitorWindow = GetParam().Window;
+  C.MissThreshold = GetParam().MissThreshold;
+  C.LatencyThreshold = 12;
+  DelinquentLoadTable T(C);
+
+  // Exactly (MissThreshold - 1) misses per window: never delinquent.
+  bool Event = false;
+  for (unsigned W = 0; W < 4; ++W)
+    for (unsigned I = 0; I < C.MonitorWindow; ++I)
+      Event |= T.update(0x100, 0x1000 + I * 64,
+                        /*Miss=*/I < C.MissThreshold - 1, 300);
+  EXPECT_FALSE(Event);
+
+  // Exactly MissThreshold misses per window at high latency: delinquent.
+  for (unsigned I = 0; I < C.MonitorWindow && !Event; ++I)
+    Event |= T.update(0x200, 0x1000 + I * 64, I < C.MissThreshold, 300);
+  EXPECT_TRUE(Event);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndThresholds, DltCriteria,
+    ::testing::Values(DltParams{128, 4}, DltParams{128, 8},
+                      DltParams{256, 8}, DltParams{256, 16},
+                      DltParams{512, 8}, DltParams{512, 61}),
+    [](const ::testing::TestParamInfo<DltParams> &I) {
+      return "w" + std::to_string(I.param.Window) + "_m" +
+             std::to_string(I.param.MissThreshold);
+    });

@@ -1,0 +1,114 @@
+//===- support_test.cpp - Unit tests for src/support ----------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/SaturatingCounter.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+TEST(SaturatingCounter, ClampsAtBounds) {
+  FourBitCounter C;
+  EXPECT_EQ(C.value(), 0);
+  C.add(-5);
+  EXPECT_EQ(C.value(), 0);
+  C.add(100);
+  EXPECT_EQ(C.value(), 15);
+  EXPECT_TRUE(C.isSaturated());
+  C.add(-7);
+  EXPECT_EQ(C.value(), 8);
+}
+
+TEST(SaturatingCounter, DltConfidenceDiscipline) {
+  // The DLT confidence counter: +1 on match, -7 on mismatch; predictable
+  // at 15 (Section 3.3). One mismatch drops it far below predictable.
+  FourBitCounter C;
+  for (int I = 0; I < 15; ++I)
+    C.add(1);
+  EXPECT_TRUE(C.isSaturated());
+  C.add(-7);
+  EXPECT_EQ(C.value(), 8);
+  EXPECT_FALSE(C.isSaturated());
+}
+
+TEST(SaturatingCounter, TwoBitTakenThreshold) {
+  TwoBitCounter C(2);
+  EXPECT_TRUE(C.isSet());
+  C.decrement();
+  EXPECT_FALSE(C.isSet());
+}
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, BoundsRespected) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  std::vector<int> V = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  SplitMix64 R(3);
+  shuffle(V, R);
+  std::vector<int> Sorted = V;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Sorted[I], I);
+}
+
+TEST(Statistics, RunningStatBasics) {
+  RunningStat S;
+  S.addSample(1.0);
+  S.addSample(3.0);
+  S.addSample(2.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_NEAR(geometricMean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+}
+
+TEST(Statistics, HistogramBuckets) {
+  Histogram H(10.0, 5);
+  H.addSample(0);
+  H.addSample(9.9);
+  H.addSample(10);
+  H.addSample(1000); // overflow bucket
+  EXPECT_EQ(H.total(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(H.numBuckets() - 1), 1u);
+  EXPECT_DOUBLE_EQ(H.cdfAt(1), 0.75);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table T({"bench", "ipc"});
+  T.addRow({"mcf", "0.42"});
+  T.addSeparator();
+  T.addRow({"average", "1.00"});
+  std::string S = T.render();
+  EXPECT_NE(S.find("mcf"), std::string::npos);
+  EXPECT_NE(S.find("0.42"), std::string::npos);
+  EXPECT_NE(S.find("+--"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 3u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(formatPercent(0.234, 1), "23.4%");
+}

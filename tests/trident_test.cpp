@@ -1,0 +1,399 @@
+//===- trident_test.cpp - Unit tests for the Trident framework -------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ProgramBuilder.h"
+#include "trident/BranchProfiler.h"
+#include "trident/CodeCache.h"
+#include "trident/TraceBuilder.h"
+#include "trident/WatchTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace trident;
+
+//===----------------------------------------------------------------------===//
+// BranchProfiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Simulates committing a simple counted loop: body of \p CondBranches
+/// conditional branches with fixed directions, closed by a taken backedge.
+/// Returns the candidate if the profiler fires within \p MaxIters.
+std::optional<HotTraceCandidate>
+runLoopThroughProfiler(BranchProfiler &P, Addr Head,
+                       const std::vector<bool> &Dirs, unsigned MaxIters) {
+  for (unsigned It = 0; It < MaxIters; ++It) {
+    if (std::optional<HotTraceCandidate> C = P.onCommit(Head))
+      return C;
+    Addr PC = Head + 1;
+    for (bool D : Dirs) {
+      P.onCommit(PC);
+      P.onBranch(PC, /*Conditional=*/true, D, D ? PC + 10 : PC + 1);
+      ++PC;
+    }
+    // Backedge (conditional, taken, backward).
+    P.onCommit(PC);
+    P.onBranch(PC, true, true, Head);
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+TEST(BranchProfiler, DetectsStableLoop) {
+  BranchProfiler P;
+  std::optional<HotTraceCandidate> C =
+      runLoopThroughProfiler(P, 0x100, {true, false}, 64);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->StartPC, 0x100u);
+  // Bits: body branch taken(1), body branch not-taken(0), backedge
+  // taken(1) -> bitmap LSB-first: 1, 0, 1.
+  EXPECT_EQ(C->NumBranches, 3u);
+  EXPECT_EQ(C->Bitmap & 0x7u, 0b101u);
+}
+
+TEST(BranchProfiler, UnstableDirectionsNeverFire) {
+  BranchProfiler P;
+  // Alternate an inner branch every iteration: capture rounds mismatch.
+  bool Dir = false;
+  for (unsigned It = 0; It < 256; ++It) {
+    if (P.onCommit(0x100).has_value())
+      FAIL() << "unstable loop produced a candidate";
+    P.onCommit(0x101);
+    P.onBranch(0x101, true, Dir, Dir ? 0x110 : 0x102);
+    Dir = !Dir;
+    P.onCommit(0x102);
+    P.onBranch(0x102, true, true, 0x100);
+  }
+}
+
+TEST(BranchProfiler, TooManyBranchesAborts) {
+  BranchProfilerConfig C;
+  C.BitmapBits = 4;
+  BranchProfiler P(C);
+  std::optional<HotTraceCandidate> Cand = runLoopThroughProfiler(
+      P, 0x100, {true, true, true, true, true}, 128); // 6 branches > 4 bits
+  EXPECT_FALSE(Cand.has_value());
+}
+
+TEST(BranchProfiler, SuppressionSilencesALoop) {
+  BranchProfiler P;
+  P.suppress(0x100);
+  EXPECT_FALSE(runLoopThroughProfiler(P, 0x100, {true}, 128).has_value());
+  P.unsuppress(0x100);
+  EXPECT_TRUE(runLoopThroughProfiler(P, 0x100, {true}, 128).has_value());
+}
+
+TEST(BranchProfiler, ForwardBranchesDoNotTrain) {
+  BranchProfiler P;
+  for (unsigned I = 0; I < 1000; ++I)
+    P.onBranch(0x100, true, true, 0x200); // forward target
+  EXPECT_FALSE(P.captureInProgress());
+}
+
+//===----------------------------------------------------------------------===//
+// TraceBuilder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A loop whose body contains one in-trace-taken branch and one side exit.
+Program diamondLoop() {
+  ProgramBuilder B(0x100);
+  B.loadImm(1, 0).loadImm(2, 1000);
+  B.entryHere();
+  B.label("head");
+  B.addi(1, 1, 1);
+  B.aluImm(Opcode::AndI, 3, 1, 0xff);
+  B.bne(3, 0, "common"); // hot: taken
+  B.addi(4, 4, 100);     // cold path
+  B.label("common");
+  B.addi(5, 5, 1);
+  B.blt(1, 2, "head"); // backedge
+  B.halt();
+  return B.finish();
+}
+
+} // namespace
+
+TEST(TraceBuilder, StreamlinesTakenPath) {
+  Program P = diamondLoop();
+  HotTraceCandidate Cand;
+  Cand.StartPC = 0x102; // "head"
+  Cand.Bitmap = 0b11;   // bne taken, backedge taken
+  Cand.NumBranches = 2;
+  TraceBuilder TB;
+  std::optional<Trace> T = TB.build(P, Cand, 0);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_TRUE(T->ClosesLoop);
+  // Body: addi, andi, inverted-bne (side exit to cold path), addi(common),
+  // backedge (kept, re-targeted at OrigStart by the peephole), exit jump.
+  ASSERT_EQ(T->Body.size(), 6u);
+  EXPECT_EQ(T->Body[2].Op, Opcode::Beq); // inverted bne -> beq
+  EXPECT_EQ(static_cast<Addr>(T->Body[2].Imm), 0x105u); // cold fall-through
+  // Loop-close peephole: the final conditional branch targets OrigStart...
+  EXPECT_EQ(T->Body[4].Op, Opcode::Blt);
+  EXPECT_EQ(static_cast<Addr>(T->Body[4].Imm), 0x102u);
+  // ...and the trailing synthetic jump is the loop *exit* path.
+  EXPECT_EQ(T->Body[5].Op, Opcode::Jump);
+  EXPECT_TRUE(T->Body[5].Synthetic);
+  EXPECT_EQ(static_cast<Addr>(T->Body[5].Imm), 0x108u); // halt
+}
+
+TEST(TraceBuilder, NotTakenPathKeepsBranchAsSideExit) {
+  Program P = diamondLoop();
+  HotTraceCandidate Cand;
+  Cand.StartPC = 0x102;
+  Cand.Bitmap = 0b10; // bne NOT taken (cold path in trace), backedge taken
+  Cand.NumBranches = 2;
+  TraceBuilder TB;
+  std::optional<Trace> T = TB.build(P, Cand, 0);
+  ASSERT_TRUE(T.has_value());
+  // The bne stays un-inverted, targeting "common" as the side exit.
+  EXPECT_EQ(T->Body[2].Op, Opcode::Bne);
+  EXPECT_EQ(static_cast<Addr>(T->Body[2].Imm), 0x106u);
+  // Cold-path addi is in the trace.
+  EXPECT_EQ(T->Body[3].Op, Opcode::AddI);
+  EXPECT_EQ(T->Body[3].Rd, 4);
+}
+
+TEST(TraceBuilder, OrigPCProvenancePreserved) {
+  Program P = diamondLoop();
+  HotTraceCandidate Cand{0x102, 0b11, 2};
+  std::optional<Trace> T = TraceBuilder().build(P, Cand, 0);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->Body[0].OrigPC, 0x102u);
+  EXPECT_EQ(T->Body[1].OrigPC, 0x103u);
+}
+
+TEST(TraceBuilder, LengthCapEndsTraceWithExit) {
+  ProgramBuilder B(0x10);
+  B.label("head");
+  for (int I = 0; I < 50; ++I)
+    B.addi(1, 1, 1);
+  B.blt(1, 2, "head");
+  B.halt();
+  Program P = B.finish();
+  TraceBuilderConfig C;
+  C.MaxLength = 10;
+  TraceBuilder TB(C);
+  std::optional<Trace> T = TB.build(P, {0x10, 0b1, 1}, 0);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_LE(T->Body.size(), 11u);
+  EXPECT_EQ(T->Body.back().Op, Opcode::Jump); // exit to original code
+  EXPECT_FALSE(T->ClosesLoop);
+}
+
+TEST(TraceBuilder, JumpsAreStreamlinedAway) {
+  ProgramBuilder B(0x10);
+  B.label("head");
+  B.addi(1, 1, 1);
+  B.jump("far");
+  B.nop().nop(); // skipped
+  B.label("far");
+  B.addi(2, 2, 2);
+  B.blt(1, 3, "head");
+  B.halt();
+  Program P = B.finish();
+  std::optional<Trace> T = TraceBuilder().build(P, {0x10, 0b1, 1}, 0);
+  ASSERT_TRUE(T.has_value());
+  // addi, addi, branch, exit-jump: the jmp and nops are gone.
+  EXPECT_EQ(T->Body.size(), 4u);
+  EXPECT_EQ(T->Body[1].Rd, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Classical optimizations
+//===----------------------------------------------------------------------===//
+
+TEST(ClassicalOpts, ConstantPropagationFolds) {
+  std::vector<Instruction> Body = {
+      makeLoadImm(1, 10),
+      makeAluImm(Opcode::AddI, 2, 1, 5),  // -> ldi r2, 15
+      makeAlu(Opcode::Add, 3, 1, 2),      // -> ldi r3, 25
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.ConstantsFolded, 2u);
+  EXPECT_EQ(Body[1].Op, Opcode::LoadImm);
+  EXPECT_EQ(Body[1].Imm, 15);
+  EXPECT_EQ(Body[2].Op, Opcode::LoadImm);
+  EXPECT_EQ(Body[2].Imm, 25);
+}
+
+TEST(ClassicalOpts, StrengthReduction) {
+  std::vector<Instruction> Body = {makeAluImm(Opcode::MulI, 2, 1, 8)};
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.StrengthReduced, 1u);
+  EXPECT_EQ(Body[0].Op, Opcode::ShlI);
+  EXPECT_EQ(Body[0].Imm, 3);
+}
+
+TEST(ClassicalOpts, NonPowerOfTwoMultiplyUntouched) {
+  std::vector<Instruction> Body = {makeAluImm(Opcode::MulI, 2, 1, 7)};
+  TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(Body[0].Op, Opcode::MulI);
+}
+
+TEST(ClassicalOpts, RedundantLoadBecomesMove) {
+  std::vector<Instruction> Body = {
+      makeLoad(2, 1, 16),
+      makeAlu(Opcode::Add, 3, 2, 2),
+      makeLoad(4, 1, 16), // same address, nothing clobbered
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantLoadsRemoved, 1u);
+  EXPECT_EQ(Body[2].Op, Opcode::Move);
+  EXPECT_EQ(Body[2].Rs1, 2);
+}
+
+TEST(ClassicalOpts, StoreLoadPairBecomesMove) {
+  // Trident's legacy int/FP conversion case (Section 3.2).
+  std::vector<Instruction> Body = {
+      makeStore(1, 8, 5),
+      makeLoad(6, 1, 8),
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.StoreLoadPairsForwarded, 1u);
+  EXPECT_EQ(Body[1].Op, Opcode::Move);
+  EXPECT_EQ(Body[1].Rs1, 5);
+}
+
+TEST(ClassicalOpts, InterveningStoreBlocksLoadRemoval) {
+  std::vector<Instruction> Body = {
+      makeLoad(2, 1, 16),
+      makeStore(3, 0, 4), // may alias
+      makeLoad(5, 1, 16),
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantLoadsRemoved, 0u);
+  EXPECT_EQ(Body[2].Op, Opcode::Load);
+}
+
+TEST(ClassicalOpts, BaseRedefinitionBlocksLoadRemoval) {
+  std::vector<Instruction> Body = {
+      makeLoad(2, 1, 16),
+      makeAluImm(Opcode::AddI, 1, 1, 8), // base changes
+      makeLoad(3, 1, 16),
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantLoadsRemoved, 0u);
+}
+
+TEST(ClassicalOpts, ValueRegisterClobberBlocksForwarding) {
+  std::vector<Instruction> Body = {
+      makeLoad(2, 1, 16),
+      makeLoadImm(2, 7), // the holding register is overwritten
+      makeLoad(3, 1, 16),
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantLoadsRemoved, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// CodeCache / BinaryPatcher / WatchTable
+//===----------------------------------------------------------------------===//
+
+TEST(CodeCache, InstallAndTag) {
+  CodeCache CC;
+  std::vector<Instruction> Body = {makeNop(), makeHalt()};
+  Addr A1 = CC.install(Body, 7);
+  Addr A2 = CC.install(Body, 9);
+  EXPECT_EQ(A1, CodeCache::Base);
+  EXPECT_EQ(A2, CodeCache::Base + 2);
+  EXPECT_TRUE(CC.contains(A1));
+  EXPECT_FALSE(CC.contains(A2 + 2));
+  EXPECT_EQ(CC.traceIdAt(A1 + 1), 7u);
+  EXPECT_EQ(CC.traceIdAt(A2), 9u);
+  CC.at(A1).Imm = 42; // patchable in place
+  EXPECT_EQ(CC.at(A1).Imm, 42);
+}
+
+TEST(BinaryPatcher, PatchAndRestore) {
+  ProgramBuilder B(0x10);
+  B.addi(1, 1, 1).halt();
+  Program P = B.finish();
+  BinaryPatcher Patcher(P);
+  Patcher.patchJump(0x10, 0x40000000);
+  EXPECT_EQ(P.at(0x10).Op, Opcode::Jump);
+  EXPECT_TRUE(P.at(0x10).Synthetic);
+  EXPECT_TRUE(Patcher.isPatched(0x10));
+  // Re-patching keeps the original for restore.
+  Patcher.patchJump(0x10, 0x40000010);
+  Patcher.restore(0x10);
+  EXPECT_EQ(P.at(0x10).Op, Opcode::AddI);
+}
+
+TEST(CodeImage, FetchDispatchesBetweenProgramAndCache) {
+  ProgramBuilder B(0x10);
+  B.addi(1, 1, 1).halt();
+  Program P = B.finish();
+  CodeCache CC;
+  Addr T = CC.install({makeNop()}, 0);
+  CodeImage Img(P, CC);
+  EXPECT_EQ(Img.fetch(0x10).Op, Opcode::AddI);
+  EXPECT_EQ(Img.fetch(T).Op, Opcode::Nop);
+}
+
+TEST(WatchTable, InsertFindRemove) {
+  WatchTable W(4);
+  EXPECT_TRUE(W.insert(1, 0x100, 0x40000000, 10));
+  EXPECT_FALSE(W.insert(1, 0x100, 0x40000000, 10)); // duplicate
+  ASSERT_NE(W.find(1), nullptr);
+  EXPECT_EQ(W.findByOrigStart(0x100)->TraceId, 1u);
+  W.remove(1);
+  EXPECT_EQ(W.find(1), nullptr);
+}
+
+TEST(WatchTable, IterationTimingTracksMinAndAvg) {
+  WatchTable W(4);
+  W.insert(1, 0x100, 0x40000000, 10);
+  W.recordIteration(1, 50);
+  W.recordIteration(1, 30);
+  W.recordIteration(1, 40);
+  const WatchEntry *E = W.find(1);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->MinExecTime, 30u);
+  EXPECT_DOUBLE_EQ(E->avgExecTime(), 40.0);
+}
+
+TEST(WatchTable, CapacityEvictsLeastRecentlyTouched) {
+  WatchTable W(2);
+  W.insert(1, 0x100, 0x40000000, 10);
+  W.insert(2, 0x200, 0x40000100, 10);
+  W.find(1); // touch 1 so 2 is LRU
+  W.insert(3, 0x300, 0x40000200, 10);
+  EXPECT_NE(W.find(1), nullptr);
+  EXPECT_EQ(W.find(2), nullptr);
+  EXPECT_NE(W.find(3), nullptr);
+}
+
+TEST(ClassicalOpts, RedundantBranchRemoval) {
+  // A side-exit branch whose condition is provably false on the trace
+  // path is deleted (Section 3.2's redundant branch removal).
+  std::vector<Instruction> Body = {
+      makeLoadImm(1, 5),
+      makeLoadImm(2, 9),
+      makeBranch(Opcode::Beq, 1, 2, 0x999), // 5 == 9: never taken
+      makeAlu(Opcode::Add, 3, 1, 2),
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantBranchesRemoved, 1u);
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body[2].Op, Opcode::LoadImm); // the Add was folded too
+}
+
+TEST(ClassicalOpts, TakenConstantBranchIsKept) {
+  std::vector<Instruction> Body = {
+      makeLoadImm(1, 5),
+      makeBranch(Opcode::Blt, 1, 2, 0x999), // r2 unknown: kept
+      makeLoadImm(2, 9),
+      makeBranch(Opcode::Beq, 1, 1, 0x999), // always taken: kept (exit)
+  };
+  ClassicalOptStats S = TraceBuilder::runClassicalOpts(Body);
+  EXPECT_EQ(S.RedundantBranchesRemoved, 0u);
+  EXPECT_EQ(Body.size(), 4u);
+}

@@ -1,0 +1,283 @@
+//===- trident_sim.cpp - Command-line simulator driver ---------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+// A full-featured CLI over the library: pick a workload and configuration,
+// run it, and get the complete statistics dump. Everything the figure
+// benches do can be reproduced ad hoc from here.
+//
+//   trident_sim --list
+//   trident_sim --workload mcf --compare
+//   trident_sim --workload galgel --mode self-repairing --instr 4000000
+//               --window 128 --miss-threshold 4 --verbose
+//   trident_sim --workload equake --hwpf none --mode self-repairing
+//   trident_sim --workload art --mode basic --tlb --no-link
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulation.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace trident;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --list                 list the 14 workloads and exit\n"
+      "  --workload NAME        workload to run (required unless --list)\n"
+      "  --mode MODE            hw | none | basic | whole-object |\n"
+      "                         self-repairing   (default self-repairing;\n"
+      "                         'hw' disables Trident entirely)\n"
+      "  --hwpf CFG             none | 4x4 | 8x8  (default 8x8)\n"
+      "  --instr N              committed instructions (default 2000000)\n"
+      "  --warmup N             warmup instructions (default 100000)\n"
+      "  --compare              also run the hw baseline and print speedup\n"
+      "  --no-link              form/optimize traces but never link (5.1)\n"
+      "  --tlb                  enable the data-TLB model (+ page-bounded\n"
+      "                         stream buffers)\n"
+      "  --seed-estimate        seed self-repair with the eq.2 estimate\n"
+      "  --phase-adapt          clear mature flags on phase changes\n"
+      "  --dlt-entries N        DLT size (default 1024)\n"
+      "  --window N             DLT monitoring window (default 256)\n"
+      "  --miss-threshold N     DLT miss threshold (default 8)\n"
+      "  --distance-cap N       max prefetch distance (default 64)\n"
+      "  --verbose              full statistics dump\n",
+      Prog);
+}
+
+const char *onOff(bool B) { return B ? "on" : "off"; }
+
+void printStats(const SimResult &R, bool Verbose) {
+  std::printf("workload         %s\n", R.Workload.c_str());
+  std::printf("config           %s\n", R.ConfigName.c_str());
+  std::printf("instructions     %llu\n",
+              (unsigned long long)R.Instructions);
+  std::printf("cycles           %llu\n", (unsigned long long)R.Cycles);
+  std::printf("IPC              %.4f\n", R.Ipc);
+  if (!Verbose)
+    return;
+
+  const MemStats &M = R.Mem;
+  std::printf("\n-- memory system --\n");
+  std::printf("demand loads     %llu\n", (unsigned long long)M.DemandLoads);
+  std::printf("  hits           %llu\n", (unsigned long long)M.HitsNone);
+  std::printf("  hit-prefetched %llu\n",
+              (unsigned long long)M.HitsPrefetched);
+  std::printf("  partial hits   %llu\n", (unsigned long long)M.PartialHits);
+  std::printf("  misses         %llu\n", (unsigned long long)M.Misses);
+  std::printf("  miss-due-to-pf %llu\n",
+              (unsigned long long)M.MissesDueToPrefetch);
+  std::printf("sw prefetches    %llu\n",
+              (unsigned long long)M.SoftwarePrefetches);
+  std::printf("hw prefetches    %llu\n",
+              (unsigned long long)M.HardwarePrefetches);
+  std::printf("memory fetches   %llu\n",
+              (unsigned long long)M.MemoryFetches);
+  std::printf("sb probe hits    %llu (allocs %llu, lines %llu)\n",
+              (unsigned long long)R.HwPf.ProbeHits,
+              (unsigned long long)R.HwPf.Allocations,
+              (unsigned long long)R.HwPf.LinesPrefetched);
+  std::printf("exposed lat/load %.2f cycles\n",
+              M.DemandLoads
+                  ? double(M.TotalExposedLatency) / double(M.DemandLoads)
+                  : 0.0);
+  if (R.Tlb.Lookups)
+    std::printf("dtlb             %llu lookups, %llu misses, %llu "
+                "prefetches dropped\n",
+                (unsigned long long)R.Tlb.Lookups,
+                (unsigned long long)R.Tlb.Misses,
+                (unsigned long long)R.Tlb.PrefetchesDropped);
+
+  const RuntimeStats &S = R.Runtime;
+  if (S.CommitsTotal == 0)
+    return;
+  std::printf("\n-- trident runtime --\n");
+  std::printf("hot-trace events %llu\n",
+              (unsigned long long)S.HotTraceEvents);
+  std::printf("traces installed %llu (+%llu reinstalls)\n",
+              (unsigned long long)S.TracesInstalled,
+              (unsigned long long)S.TraceReinstalls);
+  std::printf("delinquent evts  %llu\n",
+              (unsigned long long)S.DelinquentEvents);
+  std::printf("insertions       %llu\n",
+              (unsigned long long)S.InsertionOptimizations);
+  std::printf("repairs          %llu (last distance %d)\n",
+              (unsigned long long)S.RepairOptimizations,
+              S.LastRepairDistance);
+  std::printf("loads matured    %llu\n", (unsigned long long)S.LoadsMatured);
+  std::printf("events dropped   %llu\n",
+              (unsigned long long)S.EventsDropped);
+  std::printf("pf instructions  %llu planned\n",
+              (unsigned long long)S.PrefetchInstructionsPlanned);
+  std::printf("phase changes    %llu (%llu flags cleared)\n",
+              (unsigned long long)S.PhaseChangesDetected,
+              (unsigned long long)S.MatureFlagsCleared);
+  std::printf("commit coverage  %.1f%% of commits in traces\n",
+              S.CommitsTotal
+                  ? 100.0 * double(S.CommitsInTraces) / double(S.CommitsTotal)
+                  : 0.0);
+  std::printf("miss coverage    %.1f%% in traces, %.1f%% prefetch-covered\n",
+              100.0 * S.traceMissCoverage(),
+              100.0 * S.prefetchMissCoverage());
+  std::printf("helper thread    active %.2f%% of cycles\n",
+              100.0 * R.helperActiveFraction());
+  std::printf("dlt              %llu updates, %llu windows, %llu events, "
+              "%llu replacements\n",
+              (unsigned long long)R.Dlt.Updates,
+              (unsigned long long)R.Dlt.WindowsCompleted,
+              (unsigned long long)R.Dlt.Events,
+              (unsigned long long)R.Dlt.Replacements);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string WorkloadName;
+  std::string Mode = "self-repairing";
+  std::string HwPf = "8x8";
+  uint64_t Instr = 2'000'000, Warmup = 100'000;
+  bool Compare = false, Verbose = false, List = false;
+  bool NoLink = false, EnableTlb = false, SeedEstimate = false,
+       PhaseAdapt = false;
+  unsigned DltEntries = 1024, Window = 256, MissThreshold = 8;
+  int DistanceCap = 64;
+
+  auto needValue = [&](int &I) -> const char * {
+    if (I + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[I]);
+      std::exit(2);
+    }
+    return argv[++I];
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (!std::strcmp(A, "--list"))
+      List = true;
+    else if (!std::strcmp(A, "--workload"))
+      WorkloadName = needValue(I);
+    else if (!std::strcmp(A, "--mode"))
+      Mode = needValue(I);
+    else if (!std::strcmp(A, "--hwpf"))
+      HwPf = needValue(I);
+    else if (!std::strcmp(A, "--instr"))
+      Instr = std::strtoull(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--warmup"))
+      Warmup = std::strtoull(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--compare"))
+      Compare = true;
+    else if (!std::strcmp(A, "--no-link"))
+      NoLink = true;
+    else if (!std::strcmp(A, "--tlb"))
+      EnableTlb = true;
+    else if (!std::strcmp(A, "--seed-estimate"))
+      SeedEstimate = true;
+    else if (!std::strcmp(A, "--phase-adapt"))
+      PhaseAdapt = true;
+    else if (!std::strcmp(A, "--dlt-entries"))
+      DltEntries = std::strtoul(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--window"))
+      Window = std::strtoul(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--miss-threshold"))
+      MissThreshold = std::strtoul(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--distance-cap"))
+      DistanceCap = std::atoi(needValue(I));
+    else if (!std::strcmp(A, "--verbose"))
+      Verbose = true;
+    else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", A);
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (List) {
+    Table T({"workload", "behaviour"});
+    for (const std::string &N : workloadNames())
+      T.addRow({N, makeWorkload(N).Description});
+    std::printf("%s", T.render().c_str());
+    return 0;
+  }
+  if (WorkloadName.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  bool Known = false;
+  for (const std::string &N : workloadNames())
+    Known |= N == WorkloadName;
+  if (!Known) {
+    std::fprintf(stderr, "error: unknown workload '%s' (see --list)\n",
+                 WorkloadName.c_str());
+    return 2;
+  }
+
+  SimConfig C = SimConfig::hwBaseline();
+  if (Mode == "hw") {
+    C.EnableTrident = false;
+  } else if (Mode == "none" || Mode == "basic" || Mode == "whole-object" ||
+             Mode == "self-repairing") {
+    C.EnableTrident = true;
+    C.Runtime.Mode = Mode == "none"           ? PrefetchMode::None
+                     : Mode == "basic"        ? PrefetchMode::Basic
+                     : Mode == "whole-object" ? PrefetchMode::WholeObject
+                                              : PrefetchMode::SelfRepairing;
+  } else {
+    std::fprintf(stderr, "error: unknown mode '%s'\n", Mode.c_str());
+    return 2;
+  }
+
+  if (HwPf == "none")
+    C.HwPf = HwPfConfig::None;
+  else if (HwPf == "4x4")
+    C.HwPf = HwPfConfig::Sb4x4;
+  else if (HwPf == "8x8")
+    C.HwPf = HwPfConfig::Sb8x8;
+  else {
+    std::fprintf(stderr, "error: unknown hwpf '%s'\n", HwPf.c_str());
+    return 2;
+  }
+
+  C.SimInstructions = Instr;
+  C.WarmupInstructions = Warmup;
+  C.Runtime.LinkTraces = !NoLink;
+  C.Mem.Tlb.Enable = EnableTlb;
+  C.Runtime.SelfRepairInitialEstimate = SeedEstimate;
+  C.Runtime.ClearMatureOnPhaseChange = PhaseAdapt;
+  C.Runtime.Dlt.NumEntries = DltEntries;
+  C.Runtime.Dlt.MonitorWindow = Window;
+  C.Runtime.Dlt.MissThreshold = MissThreshold;
+  C.Runtime.DistanceCap = DistanceCap;
+
+  std::printf("trident_sim: %s, mode %s, hwpf %s, %llu instrs "
+              "(tlb %s, link %s)\n\n",
+              WorkloadName.c_str(), Mode.c_str(), HwPf.c_str(),
+              (unsigned long long)Instr, onOff(EnableTlb), onOff(!NoLink));
+
+  Workload W = makeWorkload(WorkloadName);
+  SimResult R = runSimulation(W, C);
+  printStats(R, Verbose);
+
+  if (Compare) {
+    SimConfig Base = C;
+    Base.EnableTrident = false;
+    SimResult RB = runSimulation(W, Base);
+    std::printf("\n-- comparison --\n");
+    std::printf("baseline IPC     %.4f (%s)\n", RB.Ipc,
+                RB.ConfigName.c_str());
+    std::printf("speedup          %.3fx (%+.1f%%)\n", speedup(R, RB),
+                100.0 * (speedup(R, RB) - 1.0));
+  }
+  return 0;
+}
