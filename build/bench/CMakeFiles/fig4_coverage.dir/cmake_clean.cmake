@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_coverage.dir/fig4_coverage.cpp.o"
+  "CMakeFiles/fig4_coverage.dir/fig4_coverage.cpp.o.d"
+  "fig4_coverage"
+  "fig4_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

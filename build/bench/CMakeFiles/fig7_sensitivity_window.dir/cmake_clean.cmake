@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sensitivity_window.dir/fig7_sensitivity_window.cpp.o"
+  "CMakeFiles/fig7_sensitivity_window.dir/fig7_sensitivity_window.cpp.o.d"
+  "fig7_sensitivity_window"
+  "fig7_sensitivity_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sensitivity_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sensitivity_dlt.dir/fig8_sensitivity_dlt.cpp.o"
+  "CMakeFiles/fig8_sensitivity_dlt.dir/fig8_sensitivity_dlt.cpp.o.d"
+  "fig8_sensitivity_dlt"
+  "fig8_sensitivity_dlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sensitivity_dlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hw_vs_sw.dir/fig9_hw_vs_sw.cpp.o"
+  "CMakeFiles/fig9_hw_vs_sw.dir/fig9_hw_vs_sw.cpp.o.d"
+  "fig9_hw_vs_sw"
+  "fig9_hw_vs_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hw_vs_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_anatomy.dir/trace_anatomy.cpp.o"
+  "CMakeFiles/trace_anatomy.dir/trace_anatomy.cpp.o.d"
+  "trace_anatomy"
+  "trace_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tour.dir/workload_tour.cpp.o"
+  "CMakeFiles/workload_tour.dir/workload_tour.cpp.o.d"
+  "workload_tour"
+  "workload_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_branch.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/trident_branch.dir/BranchPredictor.cpp.o.d"
+  "libtrident_branch.a"
+  "libtrident_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

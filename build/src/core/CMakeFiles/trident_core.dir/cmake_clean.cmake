@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_core.dir/PrefetchPlanner.cpp.o"
+  "CMakeFiles/trident_core.dir/PrefetchPlanner.cpp.o.d"
+  "CMakeFiles/trident_core.dir/TridentRuntime.cpp.o"
+  "CMakeFiles/trident_core.dir/TridentRuntime.cpp.o.d"
+  "libtrident_core.a"
+  "libtrident_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

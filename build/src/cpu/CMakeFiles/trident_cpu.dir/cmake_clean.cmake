@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_cpu.dir/SmtCore.cpp.o"
+  "CMakeFiles/trident_cpu.dir/SmtCore.cpp.o.d"
+  "libtrident_cpu.a"
+  "libtrident_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_dlt.dir/DelinquentLoadTable.cpp.o"
+  "CMakeFiles/trident_dlt.dir/DelinquentLoadTable.cpp.o.d"
+  "libtrident_dlt.a"
+  "libtrident_dlt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_dlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

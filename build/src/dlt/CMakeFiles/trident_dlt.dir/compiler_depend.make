@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trident_dlt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwpf/StreamBuffer.cpp" "src/hwpf/CMakeFiles/trident_hwpf.dir/StreamBuffer.cpp.o" "gcc" "src/hwpf/CMakeFiles/trident_hwpf.dir/StreamBuffer.cpp.o.d"
+  "/root/repo/src/hwpf/StridePredictor.cpp" "src/hwpf/CMakeFiles/trident_hwpf.dir/StridePredictor.cpp.o" "gcc" "src/hwpf/CMakeFiles/trident_hwpf.dir/StridePredictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/trident_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/trident_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/trident_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

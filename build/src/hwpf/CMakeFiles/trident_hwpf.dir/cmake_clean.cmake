@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_hwpf.dir/StreamBuffer.cpp.o"
+  "CMakeFiles/trident_hwpf.dir/StreamBuffer.cpp.o.d"
+  "CMakeFiles/trident_hwpf.dir/StridePredictor.cpp.o"
+  "CMakeFiles/trident_hwpf.dir/StridePredictor.cpp.o.d"
+  "libtrident_hwpf.a"
+  "libtrident_hwpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_hwpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

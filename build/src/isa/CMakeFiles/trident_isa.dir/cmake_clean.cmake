@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/trident_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/trident_isa.dir/Opcode.cpp.o"
+  "CMakeFiles/trident_isa.dir/Opcode.cpp.o.d"
+  "CMakeFiles/trident_isa.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/trident_isa.dir/ProgramBuilder.cpp.o.d"
+  "libtrident_isa.a"
+  "libtrident_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrident_isa.a"
+)

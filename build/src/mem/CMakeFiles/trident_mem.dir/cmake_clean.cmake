@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_mem.dir/Cache.cpp.o"
+  "CMakeFiles/trident_mem.dir/Cache.cpp.o.d"
+  "CMakeFiles/trident_mem.dir/DataMemory.cpp.o"
+  "CMakeFiles/trident_mem.dir/DataMemory.cpp.o.d"
+  "CMakeFiles/trident_mem.dir/MemorySystem.cpp.o"
+  "CMakeFiles/trident_mem.dir/MemorySystem.cpp.o.d"
+  "CMakeFiles/trident_mem.dir/Tlb.cpp.o"
+  "CMakeFiles/trident_mem.dir/Tlb.cpp.o.d"
+  "libtrident_mem.a"
+  "libtrident_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

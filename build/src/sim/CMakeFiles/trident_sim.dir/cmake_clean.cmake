@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_sim.dir/Simulation.cpp.o"
+  "CMakeFiles/trident_sim.dir/Simulation.cpp.o.d"
+  "libtrident_sim.a"
+  "libtrident_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_support.dir/Statistics.cpp.o"
+  "CMakeFiles/trident_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/trident_support.dir/Table.cpp.o"
+  "CMakeFiles/trident_support.dir/Table.cpp.o.d"
+  "libtrident_support.a"
+  "libtrident_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

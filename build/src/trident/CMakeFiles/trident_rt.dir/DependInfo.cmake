@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trident/BranchProfiler.cpp" "src/trident/CMakeFiles/trident_rt.dir/BranchProfiler.cpp.o" "gcc" "src/trident/CMakeFiles/trident_rt.dir/BranchProfiler.cpp.o.d"
+  "/root/repo/src/trident/CodeCache.cpp" "src/trident/CMakeFiles/trident_rt.dir/CodeCache.cpp.o" "gcc" "src/trident/CMakeFiles/trident_rt.dir/CodeCache.cpp.o.d"
+  "/root/repo/src/trident/TraceBuilder.cpp" "src/trident/CMakeFiles/trident_rt.dir/TraceBuilder.cpp.o" "gcc" "src/trident/CMakeFiles/trident_rt.dir/TraceBuilder.cpp.o.d"
+  "/root/repo/src/trident/WatchTable.cpp" "src/trident/CMakeFiles/trident_rt.dir/WatchTable.cpp.o" "gcc" "src/trident/CMakeFiles/trident_rt.dir/WatchTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/trident_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/trident_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/trident_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/trident_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/trident_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

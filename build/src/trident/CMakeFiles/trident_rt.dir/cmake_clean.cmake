@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_rt.dir/BranchProfiler.cpp.o"
+  "CMakeFiles/trident_rt.dir/BranchProfiler.cpp.o.d"
+  "CMakeFiles/trident_rt.dir/CodeCache.cpp.o"
+  "CMakeFiles/trident_rt.dir/CodeCache.cpp.o.d"
+  "CMakeFiles/trident_rt.dir/TraceBuilder.cpp.o"
+  "CMakeFiles/trident_rt.dir/TraceBuilder.cpp.o.d"
+  "CMakeFiles/trident_rt.dir/WatchTable.cpp.o"
+  "CMakeFiles/trident_rt.dir/WatchTable.cpp.o.d"
+  "libtrident_rt.a"
+  "libtrident_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

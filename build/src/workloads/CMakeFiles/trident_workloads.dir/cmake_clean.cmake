@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/trident_workloads.dir/Workloads.cpp.o.d"
+  "libtrident_workloads.a"
+  "libtrident_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_test.dir/dlt_test.cpp.o"
+  "CMakeFiles/dlt_test.dir/dlt_test.cpp.o.d"
+  "dlt_test"
+  "dlt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpf_test.dir/hwpf_test.cpp.o"
+  "CMakeFiles/hwpf_test.dir/hwpf_test.cpp.o.d"
+  "hwpf_test"
+  "hwpf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/trident_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trident_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trident/CMakeFiles/trident_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlt/CMakeFiles/trident_dlt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/trident_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwpf/CMakeFiles/trident_hwpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/trident_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/trident_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/trident_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/trident_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/trident_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_test.dir/trident_test.cpp.o"
+  "CMakeFiles/trident_test.dir/trident_test.cpp.o.d"
+  "trident_test"
+  "trident_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trident_sim_cli.dir/trident_sim.cpp.o"
+  "CMakeFiles/trident_sim_cli.dir/trident_sim.cpp.o.d"
+  "trident_sim"
+  "trident_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trident_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
