@@ -6,20 +6,27 @@
 ///
 /// \file
 /// Helpers shared by the per-figure benchmark binaries: instruction-budget
-/// env knobs, cached baseline runs, and table assembly. Every figure
-/// binary prints the same rows/series the paper reports, plus a short
-/// "paper says / we measure" note.
+/// env knobs, the shared parallel batch runner, and table assembly. Every
+/// figure binary builds its full (workload, config) job list up front,
+/// hands it to the process-wide ExperimentRunner — which fans the
+/// independent runs across worker threads and memoizes shared
+/// configurations such as the hw baseline — and then assembles the same
+/// rows/series the paper reports, plus a short "paper says / we measure"
+/// note.
 ///
 /// Environment knobs:
 ///   TRIDENT_BENCH_INSTR  per-run committed-instruction budget
 ///                        (default 2,000,000)
 ///   TRIDENT_BENCH_QUICK  =1: quarter budget (smoke-testing the harness)
+///   TRIDENT_BENCH_JOBS   worker threads for the batch runner
+///                        (default: all hardware threads)
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRIDENT_BENCH_BENCHCOMMON_H
 #define TRIDENT_BENCH_BENCHCOMMON_H
 
+#include "sim/ExperimentRunner.h"
 #include "sim/Simulation.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -28,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace trident {
@@ -52,10 +60,32 @@ inline SimConfig withBudget(SimConfig C) {
   return C;
 }
 
-/// Runs one workload under one configuration with the standard budget.
+/// The batch runner every figure binary shares: all hardware threads (or
+/// $TRIDENT_BENCH_JOBS) plus the process-wide memo cache, so repeated
+/// configurations — above all the hw baseline — simulate exactly once.
+inline ExperimentRunner &runner() {
+  static ExperimentRunner R;
+  return R;
+}
+
+/// A (workload name, config) pair; the building block of figure sweeps.
+using NamedJob = std::pair<std::string, SimConfig>;
+
+/// Runs every job in parallel with the standard budget applied; results
+/// come back in submission order.
+inline std::vector<std::shared_ptr<const SimResult>>
+runBatch(const std::vector<NamedJob> &Named) {
+  std::vector<ExperimentJob> Jobs;
+  Jobs.reserve(Named.size());
+  for (const NamedJob &J : Named)
+    Jobs.push_back(ExperimentJob{makeWorkload(J.first), withBudget(J.second)});
+  return runner().runBatch(Jobs);
+}
+
+/// Runs one workload under one configuration with the standard budget
+/// (through the shared runner, so the memo cache still applies).
 inline SimResult run(const std::string &Name, SimConfig C) {
-  Workload W = makeWorkload(Name);
-  return runSimulation(W, withBudget(C));
+  return *runner().run(makeWorkload(Name), withBudget(C));
 }
 
 /// Percent-speedup string of A over Base.
@@ -70,9 +100,11 @@ inline void printHeader(const char *Figure, const char *What,
               "=========\n");
   std::printf("%s: %s\n", Figure, What);
   std::printf("paper: %s\n", PaperSays);
-  std::printf("budget: %llu committed instructions per run (+%llu warmup)\n",
+  std::printf("budget: %llu committed instructions per run (+%llu warmup), "
+              "%u worker threads\n",
               static_cast<unsigned long long>(instrBudget()),
-              static_cast<unsigned long long>(warmupBudget()));
+              static_cast<unsigned long long>(warmupBudget()),
+              runner().threadCount());
   std::printf("==============================================================="
               "=========\n");
 }

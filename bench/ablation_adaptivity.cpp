@@ -78,18 +78,27 @@ int main() {
   std::printf("A. self-repairing with initial distance 1 vs estimated\n");
   Table TA({"benchmark", "start at 1", "start at estimate", "delta"});
   std::vector<double> S1, SE;
+
+  SimConfig CE = SimConfig::withMode(PrefetchMode::SelfRepairing);
+  CE.Runtime.SelfRepairInitialEstimate = true;
+
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames()) {
-    SimResult Base = run(Name, SimConfig::hwBaseline());
-    SimResult R1 =
-        run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
-    SimConfig CE = SimConfig::withMode(PrefetchMode::SelfRepairing);
-    CE.Runtime.SelfRepairInitialEstimate = true;
-    SimResult RE = run(Name, CE);
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+    Jobs.emplace_back(Name, CE);
+  }
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const std::string &Name = workloadNames()[I];
+    const SimResult &Base = *Results[3 * I + 0];
+    const SimResult &R1 = *Results[3 * I + 1];
+    const SimResult &RE = *Results[3 * I + 2];
     S1.push_back(speedup(R1, Base));
     SE.push_back(speedup(RE, Base));
     TA.addRow({Name, pctOver(R1, Base), pctOver(RE, Base),
                formatPercent(speedup(RE, Base) - speedup(R1, Base), 1)});
-    std::fflush(stdout);
   }
   TA.addSeparator();
   TA.addRow({"geo-mean", formatPercent(geometricMean(S1) - 1.0, 1),
@@ -98,19 +107,23 @@ int main() {
   std::printf("shape check (paper 5.3): the two columns should be nearly "
               "identical —\nrepair converges regardless of the seed.\n\n");
 
-  // ---- B: phase-change mature clearing on the phased workload.
+  // ---- B: phase-change mature clearing on the phased workload. The
+  // custom workload goes straight onto the shared runner as a 3-job batch.
   std::printf("B. phase adaptation on a two-phase workload\n");
   Workload W = phasedWorkload();
   SimConfig Base = withBudget(SimConfig::hwBaseline());
-  SimResult RBase = runSimulation(W, Base);
 
   SimConfig COff = withBudget(SimConfig::withMode(PrefetchMode::SelfRepairing));
-  SimResult ROff = runSimulation(W, COff);
 
   SimConfig COn = COff;
   COn.Runtime.ClearMatureOnPhaseChange = true;
   COn.Runtime.PhaseIntervalCommits = 100'000;
-  SimResult ROn = runSimulation(W, COn);
+
+  auto PhaseResults = runner().runBatch(
+      {ExperimentJob{W, Base}, ExperimentJob{W, COff}, ExperimentJob{W, COn}});
+  const SimResult &RBase = *PhaseResults[0];
+  const SimResult &ROff = *PhaseResults[1];
+  const SimResult &ROn = *PhaseResults[2];
 
   Table TB({"config", "IPC", "speedup", "phase changes", "flags cleared"});
   TB.addRow({"hw baseline", formatDouble(RBase.Ipc, 3), "-", "-", "-"});

@@ -24,22 +24,30 @@ int main() {
            "8x8 speedup"});
   std::vector<double> S4, S8;
 
-  for (const std::string &Name : workloadNames()) {
-    SimConfig CN = SimConfig::hwBaseline();
-    CN.HwPf = HwPfConfig::None;
-    SimConfig C4 = SimConfig::hwBaseline();
-    C4.HwPf = HwPfConfig::Sb4x4;
-    SimConfig C8 = SimConfig::hwBaseline();
+  SimConfig CN = SimConfig::hwBaseline();
+  CN.HwPf = HwPfConfig::None;
+  SimConfig C4 = SimConfig::hwBaseline();
+  C4.HwPf = HwPfConfig::Sb4x4;
+  SimConfig C8 = SimConfig::hwBaseline();
 
-    SimResult RN = run(Name, CN);
-    SimResult R4 = run(Name, C4);
-    SimResult R8 = run(Name, C8);
+  std::vector<NamedJob> Jobs;
+  for (const std::string &Name : workloadNames()) {
+    Jobs.emplace_back(Name, CN);
+    Jobs.emplace_back(Name, C4);
+    Jobs.emplace_back(Name, C8);
+  }
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const std::string &Name = workloadNames()[I];
+    const SimResult &RN = *Results[3 * I + 0];
+    const SimResult &R4 = *Results[3 * I + 1];
+    const SimResult &R8 = *Results[3 * I + 2];
     S4.push_back(speedup(R4, RN));
     S8.push_back(speedup(R8, RN));
 
     T.addRow({Name, formatDouble(RN.Ipc, 3), formatDouble(R4.Ipc, 3),
               formatDouble(R8.Ipc, 3), pctOver(R4, RN), pctOver(R8, RN)});
-    std::fflush(stdout);
   }
 
   T.addSeparator();

@@ -26,20 +26,28 @@ int main() {
            "helper active (self-rep)"});
   std::vector<double> Overheads, ActBase, ActSrp;
 
+  // Optimize but never link (the Section 5.1 experiment).
+  SimConfig NoLink = SimConfig::withMode(PrefetchMode::SelfRepairing);
+  NoLink.Runtime.LinkTraces = false;
+
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames()) {
-    SimResult Base = run(Name, SimConfig::hwBaseline());
-
-    // Optimize but never link (the Section 5.1 experiment).
-    SimConfig NoLink = SimConfig::withMode(PrefetchMode::SelfRepairing);
-    NoLink.Runtime.LinkTraces = false;
-    SimResult RNoLink = run(Name, NoLink);
-    double Ovh = 1.0 - RNoLink.Ipc / Base.Ipc;
-
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
+    Jobs.emplace_back(Name, NoLink);
     // Helper-thread activity with traces linked: trace formation only
     // (mode none) vs. the full self-repairing prefetcher.
-    SimResult RNone = run(Name, SimConfig::withMode(PrefetchMode::None));
-    SimResult RSrp =
-        run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::None));
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  }
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const std::string &Name = workloadNames()[I];
+    const SimResult &Base = *Results[4 * I + 0];
+    const SimResult &RNoLink = *Results[4 * I + 1];
+    const SimResult &RNone = *Results[4 * I + 2];
+    const SimResult &RSrp = *Results[4 * I + 3];
+    double Ovh = 1.0 - RNoLink.Ipc / Base.Ipc;
 
     Overheads.push_back(Ovh);
     ActBase.push_back(RNone.helperActiveFraction());
@@ -47,7 +55,6 @@ int main() {
     T.addRow({Name, formatPercent(Ovh, 2),
               formatPercent(RNone.helperActiveFraction(), 2),
               formatPercent(RSrp.helperActiveFraction(), 2)});
-    std::fflush(stdout);
   }
 
   T.addSeparator();

@@ -23,14 +23,18 @@ int main() {
   Table T({"benchmark", "misses", "in hot traces", "prefetch-covered"});
   std::vector<double> InTrace, Covered;
 
-  for (const std::string &Name : workloadNames()) {
-    SimResult R = run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  std::vector<NamedJob> Jobs;
+  for (const std::string &Name : workloadNames())
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const SimResult &R = *Results[I];
     InTrace.push_back(R.Runtime.traceMissCoverage());
     Covered.push_back(R.Runtime.prefetchMissCoverage());
-    T.addRow({Name, std::to_string(R.Runtime.LoadMissesTotal),
+    T.addRow({workloadNames()[I], std::to_string(R.Runtime.LoadMissesTotal),
               formatPercent(R.Runtime.traceMissCoverage(), 1),
               formatPercent(R.Runtime.prefetchMissCoverage(), 1)});
-    std::fflush(stdout);
   }
 
   T.addSeparator();

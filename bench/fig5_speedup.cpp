@@ -32,12 +32,21 @@ int main() {
            "repairs", "final dist"});
   std::vector<double> SB, SW, SS;
 
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames()) {
-    SimResult Base = run(Name, SimConfig::hwBaseline());
-    SimResult RB = run(Name, SimConfig::withMode(PrefetchMode::Basic));
-    SimResult RW = run(Name, SimConfig::withMode(PrefetchMode::WholeObject));
-    SimResult RS =
-        run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::Basic));
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::WholeObject));
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  }
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const std::string &Name = workloadNames()[I];
+    const SimResult &Base = *Results[4 * I + 0];
+    const SimResult &RB = *Results[4 * I + 1];
+    const SimResult &RW = *Results[4 * I + 2];
+    const SimResult &RS = *Results[4 * I + 3];
 
     SB.push_back(speedup(RB, Base));
     SW.push_back(speedup(RW, Base));
@@ -45,7 +54,6 @@ int main() {
     T.addRow({Name, pctOver(RB, Base), pctOver(RW, Base), pctOver(RS, Base),
               std::to_string(RS.Runtime.RepairOptimizations),
               std::to_string(RS.Runtime.LastRepairDistance)});
-    std::fflush(stdout);
   }
 
   T.addSeparator();

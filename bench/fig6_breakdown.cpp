@@ -23,16 +23,19 @@ int main() {
            "miss-due-to-pf"});
   double SumPartial = 0, SumMissPf = 0;
 
-  for (const std::string &Name : workloadNames()) {
-    SimResult R = run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
-    const RuntimeStats &S = R.Runtime;
+  std::vector<NamedJob> Jobs;
+  for (const std::string &Name : workloadNames())
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  auto Results = runBatch(Jobs);
+
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const RuntimeStats &S = Results[I]->Runtime;
     double N = std::max<double>(1.0, static_cast<double>(S.LdTotal));
     auto Pct = [&](uint64_t X) { return formatPercent(X / N, 1); };
     SumPartial += S.LdPartial / N;
     SumMissPf += S.LdMissDueToPf / N;
-    T.addRow({Name, Pct(S.LdHitNone), Pct(S.LdHitPrefetched),
+    T.addRow({workloadNames()[I], Pct(S.LdHitNone), Pct(S.LdHitPrefetched),
               Pct(S.LdPartial), Pct(S.LdMiss), Pct(S.LdMissDueToPf)});
-    std::fflush(stdout);
   }
 
   size_t N = workloadNames().size();

@@ -27,28 +27,35 @@ int main() {
   const unsigned Windows[] = {128, 256, 512};
   const double Rates[] = {0.01, 0.03, 0.06, 0.12};
 
-  // Per-benchmark baselines are shared across all 12 configurations.
-  std::vector<SimResult> Bases;
+  // One batch covers the whole grid: 14 baselines (shared across all 12
+  // configurations via the memo cache) plus 12x14 sweep points.
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames())
-    Bases.push_back(run(Name, SimConfig::hwBaseline()));
-
-  Table T({"window \\ rate", "1%", "3%", "6%", "12%"});
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
   for (unsigned W : Windows) {
-    std::vector<std::string> Row = {std::to_string(W) + " accesses"};
     for (double Rate : Rates) {
       unsigned MissThreshold =
           std::max(1u, static_cast<unsigned>(std::lround(W * Rate)));
-      std::vector<double> Speedups;
-      size_t I = 0;
       for (const std::string &Name : workloadNames()) {
         SimConfig C = SimConfig::withMode(PrefetchMode::SelfRepairing);
         C.Runtime.Dlt.MonitorWindow = W;
         C.Runtime.Dlt.MissThreshold = MissThreshold;
-        SimResult R = run(Name, C);
-        Speedups.push_back(speedup(R, Bases[I++]));
+        Jobs.emplace_back(Name, C);
       }
+    }
+  }
+  auto Results = runBatch(Jobs);
+
+  const size_t NumWl = workloadNames().size();
+  size_t Cursor = NumWl; // sweep points start after the baselines
+  Table T({"window \\ rate", "1%", "3%", "6%", "12%"});
+  for (unsigned W : Windows) {
+    std::vector<std::string> Row = {std::to_string(W) + " accesses"};
+    for (size_t R = 0; R < std::size(Rates); ++R) {
+      std::vector<double> Speedups;
+      for (size_t I = 0; I < NumWl; ++I)
+        Speedups.push_back(speedup(*Results[Cursor++], *Results[I]));
       Row.push_back(formatPercent(geometricMean(Speedups) - 1.0, 1));
-      std::fflush(stdout);
     }
     T.addRow(Row);
   }

@@ -24,29 +24,39 @@ int main() {
               "want a large table; 1024 entries suffice");
 
   const unsigned Sizes[] = {256, 512, 1024, 2048};
+  const size_t NumWl = workloadNames().size();
 
-  std::vector<SimResult> Bases;
+  // Baselines, the 4x14 size sweep, and the Section 5.4 big-L1 runs all
+  // go into one parallel batch.
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames())
-    Bases.push_back(run(Name, SimConfig::hwBaseline()));
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
+  for (unsigned SI = 0; SI < 4; ++SI) {
+    for (const std::string &Name : workloadNames()) {
+      SimConfig C = SimConfig::withMode(PrefetchMode::SelfRepairing);
+      C.Runtime.Dlt.NumEntries = Sizes[SI];
+      Jobs.emplace_back(Name, C);
+    }
+  }
+  for (const std::string &Name : workloadNames()) {
+    SimConfig C = SimConfig::hwBaseline();
+    C.Mem.L1 = {"L1", 96 * 1024, 3, 64, 3};
+    Jobs.emplace_back(Name, C);
+  }
+  auto Results = runBatch(Jobs);
 
   Table T({"benchmark", "256", "512", "1024", "2048"});
   std::vector<std::vector<double>> PerSize(4);
 
   std::vector<std::vector<std::string>> Rows;
-  for (size_t I = 0; I < workloadNames().size(); ++I)
+  for (size_t I = 0; I < NumWl; ++I)
     Rows.push_back({workloadNames()[I]});
 
   for (unsigned SI = 0; SI < 4; ++SI) {
-    size_t I = 0;
-    for (const std::string &Name : workloadNames()) {
-      SimConfig C = SimConfig::withMode(PrefetchMode::SelfRepairing);
-      C.Runtime.Dlt.NumEntries = Sizes[SI];
-      SimResult R = run(Name, C);
-      double S = speedup(R, Bases[I]);
+    for (size_t I = 0; I < NumWl; ++I) {
+      double S = speedup(*Results[NumWl * (SI + 1) + I], *Results[I]);
       PerSize[SI].push_back(S);
       Rows[I].push_back(formatPercent(S - 1.0, 1));
-      ++I;
-      std::fflush(stdout);
     }
   }
   for (auto &Row : Rows)
@@ -63,13 +73,8 @@ int main() {
   // growing the 64KB 2-way L1 to 96KB 3-way (same 512 sets).
   std::printf("Section 5.4: monitoring SRAM spent on a larger L1 instead\n");
   std::vector<double> BigL1;
-  size_t I = 0;
-  for (const std::string &Name : workloadNames()) {
-    SimConfig C = SimConfig::hwBaseline();
-    C.Mem.L1 = {"L1", 96 * 1024, 3, 64, 3};
-    SimResult R = run(Name, C);
-    BigL1.push_back(speedup(R, Bases[I++]));
-  }
+  for (size_t I = 0; I < NumWl; ++I)
+    BigL1.push_back(speedup(*Results[NumWl * 5 + I], *Results[I]));
   std::printf("  96KB/3-way L1 vs 64KB/2-way: %s average speedup "
               "(paper: ~0.8%%)\n",
               formatPercent(geometricMean(BigL1) - 1.0, 2).c_str());

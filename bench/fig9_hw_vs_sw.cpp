@@ -24,26 +24,32 @@ int main() {
   Table T({"benchmark", "HW only", "SW only", "HW+SW"});
   std::vector<double> SH, SS, SC;
 
+  SimConfig CN = SimConfig::hwBaseline();
+  CN.HwPf = HwPfConfig::None;
+  SimConfig CSw = SimConfig::withMode(PrefetchMode::SelfRepairing);
+  CSw.HwPf = HwPfConfig::None;
+
+  std::vector<NamedJob> Jobs;
   for (const std::string &Name : workloadNames()) {
-    SimConfig CN = SimConfig::hwBaseline();
-    CN.HwPf = HwPfConfig::None;
-    SimResult RNone = run(Name, CN);
+    Jobs.emplace_back(Name, CN);
+    Jobs.emplace_back(Name, SimConfig::hwBaseline());
+    Jobs.emplace_back(Name, CSw);
+    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  }
+  auto Results = runBatch(Jobs);
 
-    SimResult RHw = run(Name, SimConfig::hwBaseline());
-
-    SimConfig CSw = SimConfig::withMode(PrefetchMode::SelfRepairing);
-    CSw.HwPf = HwPfConfig::None;
-    SimResult RSw = run(Name, CSw);
-
-    SimResult RBoth =
-        run(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  for (size_t I = 0; I < workloadNames().size(); ++I) {
+    const std::string &Name = workloadNames()[I];
+    const SimResult &RNone = *Results[4 * I + 0];
+    const SimResult &RHw = *Results[4 * I + 1];
+    const SimResult &RSw = *Results[4 * I + 2];
+    const SimResult &RBoth = *Results[4 * I + 3];
 
     SH.push_back(speedup(RHw, RNone));
     SS.push_back(speedup(RSw, RNone));
     SC.push_back(speedup(RBoth, RNone));
     T.addRow({Name, pctOver(RHw, RNone), pctOver(RSw, RNone),
               pctOver(RBoth, RNone)});
-    std::fflush(stdout);
   }
 
   T.addSeparator();

@@ -1,0 +1,119 @@
+//===- host_throughput.cpp - Simulator host-throughput benchmark -----------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+// Not a paper figure: measures how fast *the simulator itself* runs on the
+// host. Executes the full 14-workload x 4-config sweep (the shape of a
+// complete figure batch) twice — once on a single worker thread, once on
+// the full pool — with the memo cache disabled, and reports wall-clock
+// time, simulated-instructions-per-host-second, and the parallel/serial
+// speedup. Also cross-checks that the parallel results are bit-identical
+// to the serial ones (Cycles and RegChecksum per run).
+//
+// Emits a machine-readable JSON line at the end so CI can track the
+// repo's performance trajectory:
+//
+//   {"bench":"host_throughput","jobs":56,...,"speedup":3.42,...}
+//
+// Knobs: TRIDENT_BENCH_INSTR / TRIDENT_BENCH_QUICK (per-run budget),
+// TRIDENT_BENCH_JOBS (pool size for the parallel leg).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+
+using namespace trident;
+using namespace trident::bench;
+
+namespace {
+
+std::vector<ExperimentJob> buildSweep() {
+  const SimConfig Configs[] = {
+      SimConfig::hwBaseline(),
+      SimConfig::withMode(PrefetchMode::Basic),
+      SimConfig::withMode(PrefetchMode::WholeObject),
+      SimConfig::withMode(PrefetchMode::SelfRepairing),
+  };
+  std::vector<ExperimentJob> Jobs;
+  for (const std::string &Name : workloadNames())
+    for (const SimConfig &C : Configs)
+      Jobs.push_back(ExperimentJob{makeWorkload(Name), withBudget(C)});
+  return Jobs;
+}
+
+struct Leg {
+  double Seconds = 0.0;
+  uint64_t SimInstructions = 0;
+  std::vector<std::shared_ptr<const SimResult>> Results;
+
+  double instrPerSecond() const {
+    return Seconds == 0.0 ? 0.0 : static_cast<double>(SimInstructions) / Seconds;
+  }
+};
+
+Leg runLeg(const std::vector<ExperimentJob> &Jobs, unsigned Threads) {
+  ExperimentRunner Runner({Threads, /*UseCache=*/false});
+  auto Start = std::chrono::steady_clock::now();
+  Leg L;
+  L.Results = Runner.runBatch(Jobs);
+  auto End = std::chrono::steady_clock::now();
+  L.Seconds = std::chrono::duration<double>(End - Start).count();
+  for (const auto &R : L.Results)
+    L.SimInstructions += R->Instructions;
+  return L;
+}
+
+} // namespace
+
+int main() {
+  std::vector<ExperimentJob> Jobs = buildSweep();
+  unsigned Threads = ExperimentRunner::defaultThreadCount();
+
+  printHeader("host_throughput",
+              "simulator wall-clock throughput, serial vs parallel",
+              "not a paper figure — tracks simulated-instructions-per-"
+              "host-second across the repo's history");
+  std::printf("sweep: %zu jobs (14 workloads x 4 configs), parallel leg on "
+              "%u threads\n\n",
+              Jobs.size(), Threads);
+
+  std::printf("serial leg (1 worker)...\n");
+  Leg Serial = runLeg(Jobs, 1);
+  std::printf("  %.2fs, %.0f simulated instructions/host-second\n",
+              Serial.Seconds, Serial.instrPerSecond());
+
+  std::printf("parallel leg (%u workers)...\n", Threads);
+  Leg Parallel = runLeg(Jobs, Threads);
+  std::printf("  %.2fs, %.0f simulated instructions/host-second\n",
+              Parallel.Seconds, Parallel.instrPerSecond());
+
+  // Determinism cross-check: scheduling must not perturb a single bit.
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const SimResult &A = *Serial.Results[I];
+    const SimResult &B = *Parallel.Results[I];
+    if (A.Cycles != B.Cycles || A.RegChecksum != B.RegChecksum ||
+        A.Instructions != B.Instructions)
+      ++Mismatches;
+  }
+
+  double Speedup =
+      Parallel.Seconds == 0.0 ? 0.0 : Serial.Seconds / Parallel.Seconds;
+  std::printf("\nspeedup: %.2fx; results %s\n", Speedup,
+              Mismatches == 0 ? "bit-identical"
+                              : "MISMATCHED (determinism bug!)");
+
+  std::printf("\n{\"bench\":\"host_throughput\",\"jobs\":%zu,"
+              "\"threads\":%u,\"instr_per_run\":%llu,"
+              "\"serial_seconds\":%.3f,\"parallel_seconds\":%.3f,"
+              "\"serial_ips\":%.0f,\"parallel_ips\":%.0f,"
+              "\"speedup\":%.3f,\"identical\":%s}\n",
+              Jobs.size(), Threads,
+              static_cast<unsigned long long>(instrBudget()), Serial.Seconds,
+              Parallel.Seconds, Serial.instrPerSecond(),
+              Parallel.instrPerSecond(), Speedup,
+              Mismatches == 0 ? "true" : "false");
+  return Mismatches == 0 ? 0 : 1;
+}

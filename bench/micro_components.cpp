@@ -15,6 +15,7 @@
 #include "hwpf/StridePredictor.h"
 #include "isa/ProgramBuilder.h"
 #include "mem/MemorySystem.h"
+#include "sim/ExperimentRunner.h"
 #include "sim/Simulation.h"
 #include "trident/TraceBuilder.h"
 
@@ -130,5 +131,37 @@ static void BM_SimulatorThroughput(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+static void runBatchThroughput(benchmark::State &State, unsigned Threads) {
+  // A small multi-workload sweep through the batch executor, caching
+  // disabled so every iteration simulates for real. Thread count 1 is the
+  // serial reference; 0 means all hardware threads.
+  std::vector<ExperimentJob> Jobs;
+  for (const char *Name : {"mcf", "mgrid", "equake", "swim"}) {
+    SimConfig C = SimConfig::withMode(PrefetchMode::SelfRepairing);
+    C.WarmupInstructions = 10'000;
+    C.SimInstructions = 100'000;
+    Jobs.push_back(ExperimentJob{makeWorkload(Name), C});
+  }
+  ExperimentRunner Runner({Threads, /*UseCache=*/false});
+  for (auto _ : State) {
+    auto Results = Runner.runBatch(Jobs);
+    int64_t Instr = 0;
+    for (const auto &R : Results)
+      Instr += static_cast<int64_t>(R->Instructions);
+    benchmark::DoNotOptimize(Results.data());
+    State.SetItemsProcessed(State.items_processed() + Instr);
+  }
+}
+
+static void BM_BatchThroughputSerial(benchmark::State &State) {
+  runBatchThroughput(State, 1);
+}
+BENCHMARK(BM_BatchThroughputSerial)->Unit(benchmark::kMillisecond);
+
+static void BM_BatchThroughputParallel(benchmark::State &State) {
+  runBatchThroughput(State, 0);
+}
+BENCHMARK(BM_BatchThroughputParallel)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

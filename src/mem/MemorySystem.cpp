@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace trident;
 
@@ -28,20 +29,23 @@ void MemorySystem::attachPrefetcher(std::unique_ptr<HwPrefetcher> NewPf) {
 }
 
 Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
-  // Purge completed fills.
-  auto *End = &OutstandingFills;
-  (void)End;
-  std::erase_if(OutstandingFills,
-                [IssueCycle](Cycle C) { return C <= IssueCycle; });
+  // OutstandingFills is a min-heap on ready cycle: the root is always the
+  // earliest completion, so purging finished fills and waiting for a free
+  // MSHR both touch only the heap root.
+  auto Greater = std::greater<Cycle>();
+  while (!OutstandingFills.empty() && OutstandingFills.front() <= IssueCycle) {
+    std::pop_heap(OutstandingFills.begin(), OutstandingFills.end(), Greater);
+    OutstandingFills.pop_back();
+  }
   if (OutstandingFills.size() >= Config.NumMSHRs) {
     // All MSHRs busy: the new fill waits for the earliest completion.
-    auto MinIt =
-        std::min_element(OutstandingFills.begin(), OutstandingFills.end());
-    Cycle Delay = *MinIt - IssueCycle;
-    OutstandingFills.erase(MinIt);
+    Cycle Delay = OutstandingFills.front() - IssueCycle;
+    std::pop_heap(OutstandingFills.begin(), OutstandingFills.end(), Greater);
+    OutstandingFills.pop_back();
     Ready += Delay;
   }
   OutstandingFills.push_back(Ready);
+  std::push_heap(OutstandingFills.begin(), OutstandingFills.end(), Greater);
   return Ready;
 }
 

@@ -148,7 +148,9 @@ private:
 
   /// Cycle the memory bus frees up.
   Cycle BusNextFree = 0;
-  /// Ready cycles of outstanding fills (bounded by NumMSHRs).
+  /// Ready cycles of outstanding fills (bounded by NumMSHRs), kept as a
+  /// binary min-heap so the hot path retires completed fills and finds
+  /// the earliest completion in O(log MSHRs) instead of scanning.
   std::vector<Cycle> OutstandingFills;
 };
 

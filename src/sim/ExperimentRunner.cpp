@@ -1,0 +1,317 @@
+//===- ExperimentRunner.cpp -----------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExperimentRunner.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+using namespace trident;
+
+//===----------------------------------------------------------------------===//
+// Config fingerprinting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a accumulator. Every field is folded in byte-by-byte, so field
+/// order matters and any single-bit change perturbs the hash.
+class Fnv1a {
+public:
+  void add(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      addByte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void add(int64_t V) { add(static_cast<uint64_t>(V)); }
+  void add(int V) { add(static_cast<int64_t>(V)); }
+  void add(unsigned V) { add(static_cast<uint64_t>(V)); }
+  void add(bool V) { add(static_cast<uint64_t>(V ? 1 : 0)); }
+  void add(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    add(Bits);
+  }
+  void add(const std::string &S) {
+    add(static_cast<uint64_t>(S.size()));
+    for (char C : S)
+      addByte(static_cast<uint8_t>(C));
+  }
+  uint64_t hash() const { return H; }
+
+private:
+  void addByte(uint8_t B) {
+    H = (H ^ B) * 1099511628211ull;
+  }
+  uint64_t H = 1469598103934665603ull;
+};
+
+void addCacheConfig(Fnv1a &F, const CacheConfig &C) {
+  F.add(C.Name);
+  F.add(C.SizeBytes);
+  F.add(C.Assoc);
+  F.add(C.LineSize);
+  F.add(C.HitLatency);
+}
+
+void addTlbConfig(Fnv1a &F, const TlbConfig &C) {
+  F.add(C.Enable);
+  F.add(C.NumEntries);
+  F.add(C.Assoc);
+  F.add(C.PageBits);
+  F.add(C.WalkLatency);
+}
+
+void addMemConfig(Fnv1a &F, const MemSystemConfig &C) {
+  addCacheConfig(F, C.L1);
+  addCacheConfig(F, C.L2);
+  addCacheConfig(F, C.L3);
+  F.add(C.MemoryLatency);
+  F.add(C.BusOccupancy);
+  F.add(C.NumMSHRs);
+  F.add(C.StreamBufferTransferLatency);
+  addTlbConfig(F, C.Tlb);
+}
+
+void addCoreConfig(Fnv1a &F, const CoreConfig &C) {
+  F.add(C.IssueWidth);
+  F.add(C.RobSize);
+  F.add(C.IntIssueLimit);
+  F.add(C.FpIssueLimit);
+  F.add(C.MemIssueLimit);
+  F.add(C.MispredictPenalty);
+  F.add(C.NumContexts);
+}
+
+void addDltConfig(Fnv1a &F, const DltConfig &C) {
+  F.add(C.NumEntries);
+  F.add(C.Assoc);
+  F.add(C.MonitorWindow);
+  F.add(C.MissThreshold);
+  F.add(C.LatencyThreshold);
+  F.add(C.StrideConfidentAt);
+}
+
+void addRuntimeConfig(Fnv1a &F, const RuntimeConfig &C) {
+  F.add(static_cast<uint64_t>(C.Mode));
+  F.add(C.LinkTraces);
+  addDltConfig(F, C.Dlt);
+  F.add(C.Profiler.NumEntries);
+  F.add(C.Profiler.Assoc);
+  F.add(C.Profiler.BitmapBits);
+  F.add(C.Profiler.Rounds);
+  F.add(C.Profiler.MaxCaptureCommits);
+  F.add(C.Builder.MaxLength);
+  F.add(C.Builder.RunClassicalOpts);
+  F.add(C.Cost.StartupCycles);
+  F.add(C.WatchEntries);
+  F.add(C.HelperCtx);
+  F.add(C.MemoryLatency);
+  F.add(C.L1HitLatency);
+  F.add(C.DistanceCap);
+  F.add(C.MaxPendingEvents);
+  F.add(C.SelfRepairInitialEstimate);
+  F.add(C.ClearMatureOnPhaseChange);
+  F.add(C.PhaseIntervalCommits);
+  F.add(C.PhaseChangeThreshold);
+}
+
+} // namespace
+
+// NOTE: enumerate every SimConfig field (transitively) here. A field
+// missing from the fingerprint makes two distinct experiments collide in
+// the memo cache, which silently reuses the wrong result.
+uint64_t trident::configFingerprint(const SimConfig &C) {
+  Fnv1a F;
+  addCoreConfig(F, C.Core);
+  addMemConfig(F, C.Mem);
+  F.add(static_cast<uint64_t>(C.HwPf));
+  F.add(C.EnableTrident);
+  addRuntimeConfig(F, C.Runtime);
+  F.add(C.WarmupInstructions);
+  F.add(C.SimInstructions);
+  return F.hash();
+}
+
+//===----------------------------------------------------------------------===//
+// Process-wide memo cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ResultCache {
+  std::mutex Mu;
+  std::unordered_map<std::string, std::shared_ptr<const SimResult>> Map;
+
+  static ResultCache &instance() {
+    static ResultCache C;
+    return C;
+  }
+};
+
+std::string cacheKey(const std::string &WorkloadName, uint64_t Fingerprint) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Fingerprint));
+  return WorkloadName + '\0' + std::string(Buf);
+}
+
+} // namespace
+
+void ExperimentRunner::clearResultCache() {
+  ResultCache &C = ResultCache::instance();
+  std::lock_guard<std::mutex> L(C.Mu);
+  C.Map.clear();
+}
+
+size_t ExperimentRunner::resultCacheSize() {
+  ResultCache &C = ResultCache::instance();
+  std::lock_guard<std::mutex> L(C.Mu);
+  return C.Map.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool
+//===----------------------------------------------------------------------===//
+
+unsigned ExperimentRunner::defaultThreadCount() {
+  if (const char *E = std::getenv("TRIDENT_BENCH_JOBS"))
+    if (unsigned V = static_cast<unsigned>(std::strtoul(E, nullptr, 10)))
+      return V;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentRunnerOptions Opts)
+    : NumThreads(Opts.Threads == 0 ? defaultThreadCount() : Opts.Threads),
+      UseCache(Opts.UseCache) {
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ExperimentRunner::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkAvailable.wait(
+          L, [this] { return ShuttingDown || NextTask < Tasks.size(); });
+      if (NextTask >= Tasks.size()) {
+        if (ShuttingDown)
+          return;
+        continue;
+      }
+      Task = Tasks[NextTask++];
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Completed;
+    }
+    BatchDone.notify_all();
+  }
+}
+
+std::vector<std::shared_ptr<const SimResult>>
+ExperimentRunner::runBatch(const std::vector<ExperimentJob> &Jobs) {
+  std::vector<std::shared_ptr<const SimResult>> Results(Jobs.size());
+  if (Jobs.empty())
+    return Results;
+
+  // Coalesce duplicate (workload, config) keys: each unique key simulates
+  // once, and every submission slot that shares the key shares the result
+  // object. Keys already in the process cache do not simulate at all.
+  struct Group {
+    size_t FirstJob;
+    std::vector<size_t> Slots;
+    std::string Key;
+  };
+  std::vector<Group> ToRun;
+  if (UseCache) {
+    ResultCache &C = ResultCache::instance();
+    std::unordered_map<std::string, size_t> KeyToGroup;
+    std::lock_guard<std::mutex> L(C.Mu);
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      std::string Key =
+          cacheKey(Jobs[I].W.Name, configFingerprint(Jobs[I].Config));
+      if (auto Hit = C.Map.find(Key); Hit != C.Map.end()) {
+        Results[I] = Hit->second;
+        continue;
+      }
+      auto [It, Inserted] = KeyToGroup.try_emplace(Key, ToRun.size());
+      if (Inserted)
+        ToRun.push_back(Group{I, {I}, std::move(Key)});
+      else
+        ToRun[It->second].Slots.push_back(I);
+    }
+  } else {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      ToRun.push_back(Group{I, {I}, std::string()});
+  }
+
+  if (ToRun.empty())
+    return Results;
+
+  // Dispatch one task per unique key to the pool. Workers claim tasks in
+  // index order off the shared cursor — no stealing, no reordering of the
+  // result slots, and each task owns a complete machine instance.
+  std::vector<std::shared_ptr<const SimResult>> GroupResults(ToRun.size());
+  std::vector<std::function<void()>> Batch;
+  Batch.reserve(ToRun.size());
+  for (size_t G = 0; G < ToRun.size(); ++G) {
+    const ExperimentJob &Job = Jobs[ToRun[G].FirstJob];
+    Batch.push_back([this, &Job, &GroupResults, &ToRun, G] {
+      auto R = std::make_shared<const SimResult>(
+          runSimulation(Job.W, Job.Config));
+      GroupResults[G] = R;
+      if (UseCache) {
+        ResultCache &C = ResultCache::instance();
+        std::lock_guard<std::mutex> L(C.Mu);
+        C.Map.emplace(ToRun[G].Key, std::move(R));
+      }
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    assert(NextTask >= Tasks.size() && "runBatch is not reentrant");
+    Tasks = std::move(Batch);
+    NextTask = 0;
+    Completed = 0;
+  }
+  WorkAvailable.notify_all();
+
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    BatchDone.wait(L, [this] { return Completed == Tasks.size(); });
+    Tasks.clear();
+    NextTask = 0;
+    Completed = 0;
+  }
+
+  for (size_t G = 0; G < ToRun.size(); ++G)
+    for (size_t Slot : ToRun[G].Slots)
+      Results[Slot] = GroupResults[G];
+  return Results;
+}
+
+std::shared_ptr<const SimResult> ExperimentRunner::run(const Workload &W,
+                                                       const SimConfig &Config) {
+  return runBatch({ExperimentJob{W, Config}}).front();
+}

@@ -1,0 +1,123 @@
+//===- ExperimentRunner.h - Parallel batch experiment executor -*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs batches of independent (Workload, SimConfig) simulations across a
+/// fixed pool of worker threads. Every figure of the paper is a sweep of
+/// completely independent runs — each job builds its own machine, so the
+/// sweep is embarrassingly parallel and results are bit-identical to
+/// serial execution regardless of scheduling.
+///
+/// Two layers:
+///
+///  * A fixed-thread-pool executor (no work stealing: workers claim the
+///    next unclaimed job off a shared atomic cursor). The pool size
+///    defaults to std::thread::hardware_concurrency() and can be pinned
+///    with the TRIDENT_BENCH_JOBS environment variable.
+///
+///  * A process-wide memoized result cache keyed by (workload name,
+///    config fingerprint). The hardware-baseline runs shared by
+///    Figures 4/5/6/9 simulate exactly once per process; duplicate jobs
+///    inside one batch are also coalesced, so a batch may list the same
+///    (workload, config) pair many times at the cost of one simulation.
+///
+/// Caveat: the cache trusts the workload *name* to identify the program
+/// and its data image. The 14 named workloads satisfy this; if you build
+/// ad-hoc workloads from the generators, give distinct variants distinct
+/// names (or disable the cache for that batch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_SIM_EXPERIMENTRUNNER_H
+#define TRIDENT_SIM_EXPERIMENTRUNNER_H
+
+#include "sim/Simulation.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace trident {
+
+/// Stable 64-bit FNV-1a fingerprint over every field of \p C that affects
+/// simulation behaviour. Two configs with equal fingerprints run the same
+/// experiment; any field change perturbs the fingerprint.
+uint64_t configFingerprint(const SimConfig &C);
+
+/// One unit of work: a workload run under a configuration.
+struct ExperimentJob {
+  Workload W;
+  SimConfig Config;
+};
+
+struct ExperimentRunnerOptions {
+  /// Worker threads. 0 = auto: $TRIDENT_BENCH_JOBS if set and nonzero,
+  /// otherwise std::thread::hardware_concurrency().
+  unsigned Threads = 0;
+  /// Consult/populate the process-wide memo cache.
+  bool UseCache = true;
+};
+
+/// Fixed-thread-pool executor over independent simulation jobs.
+///
+/// Results come back in submission order and are bit-identical to serial
+/// execution: each job owns its full machine (core, caches, runtime), and
+/// nothing in the simulator mutates shared state across jobs.
+class ExperimentRunner {
+public:
+  explicit ExperimentRunner(ExperimentRunnerOptions Opts = {});
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner &) = delete;
+  ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+  /// Runs every job and returns one result per job, in submission order.
+  /// Duplicate (workload name, fingerprint) keys — within the batch or
+  /// from earlier batches via the cache — share a single simulation and
+  /// return the same underlying object.
+  std::vector<std::shared_ptr<const SimResult>>
+  runBatch(const std::vector<ExperimentJob> &Jobs);
+
+  /// Convenience for a single run (still goes through the cache).
+  std::shared_ptr<const SimResult> run(const Workload &W,
+                                       const SimConfig &Config);
+
+  unsigned threadCount() const { return NumThreads; }
+
+  /// The pool size an options-default runner would use: $TRIDENT_BENCH_JOBS
+  /// if set and nonzero, else hardware_concurrency(), min 1.
+  static unsigned defaultThreadCount();
+
+  // Process-wide memo cache management (shared by all runners). ----------
+  static void clearResultCache();
+  static size_t resultCacheSize();
+
+private:
+  void workerLoop();
+
+  unsigned NumThreads = 1;
+  bool UseCache = true;
+
+  // Batch state, guarded by Mu. Workers claim tasks by incrementing
+  // NextTask; the batch is done when Completed == Tasks.size().
+  std::mutex Mu;
+  std::condition_variable WorkAvailable;
+  std::condition_variable BatchDone;
+  std::vector<std::function<void()>> Tasks;
+  size_t NextTask = 0;
+  size_t Completed = 0;
+  bool ShuttingDown = false;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_SIM_EXPERIMENTRUNNER_H

@@ -8,6 +8,12 @@
 /// A small, fast, deterministic RNG (SplitMix64) used by workload generators
 /// so experiments are exactly reproducible across runs and machines.
 ///
+/// Thread-safety: there is deliberately no global RNG state anywhere in the
+/// simulator — every generator seeds its own SplitMix64 instance, so
+/// concurrent simulations (see sim/ExperimentRunner.h) never share or race
+/// on random state. Keep it that way: construct an instance where you need
+/// one instead of adding a shared generator.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRIDENT_SUPPORT_RANDOM_H

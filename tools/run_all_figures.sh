@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds the repo and runs every figure/ablation binary under
+# TRIDENT_BENCH_QUICK=1 (quarter instruction budget) — a CI-sized smoke of
+# the full experimental methodology. Also runs host_throughput, whose JSON
+# line tracks simulator performance, and fails if any binary fails.
+#
+# Usage: tools/run_all_figures.sh [build-dir]
+#   TRIDENT_BENCH_JOBS   worker threads per binary (default: all cores)
+#   TRIDENT_BENCH_INSTR  override the full per-run budget before quartering
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j
+
+export TRIDENT_BENCH_QUICK=1
+
+FIGURES=(
+  fig2_baseline
+  fig3_overhead
+  fig4_coverage
+  fig5_speedup
+  fig6_breakdown
+  fig7_sensitivity_window
+  fig8_sensitivity_dlt
+  fig9_hw_vs_sw
+  ablation_adaptivity
+  host_throughput
+)
+
+for FIG in "${FIGURES[@]}"; do
+  echo
+  echo "### $FIG"
+  "$BUILD_DIR/bench/$FIG"
+done
+
+echo
+echo "all figures completed."

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "sim/ExperimentRunner.h"
 #include "sim/Simulation.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
@@ -265,14 +266,23 @@ int main(int argc, char **argv) {
               WorkloadName.c_str(), Mode.c_str(), HwPf.c_str(),
               (unsigned long long)Instr, onOff(EnableTlb), onOff(!NoLink));
 
+  // Both runs (the experiment and, with --compare, its baseline) go into
+  // one batch so they execute concurrently when cores are available.
   Workload W = makeWorkload(WorkloadName);
-  SimResult R = runSimulation(W, C);
-  printStats(R, Verbose);
-
+  std::vector<ExperimentJob> Jobs = {ExperimentJob{W, C}};
   if (Compare) {
     SimConfig Base = C;
     Base.EnableTrident = false;
-    SimResult RB = runSimulation(W, Base);
+    Jobs.push_back(ExperimentJob{W, Base});
+  }
+  ExperimentRunner Runner;
+  auto Results = Runner.runBatch(Jobs);
+
+  const SimResult &R = *Results[0];
+  printStats(R, Verbose);
+
+  if (Compare) {
+    const SimResult &RB = *Results[1];
     std::printf("\n-- comparison --\n");
     std::printf("baseline IPC     %.4f (%s)\n", RB.Ipc,
                 RB.ConfigName.c_str());
