@@ -31,17 +31,19 @@ int main() {
   for (size_t I = 0; I < workloadNames().size(); ++I) {
     const RuntimeStats &S = Results[I]->Runtime;
     double N = std::max<double>(1.0, static_cast<double>(S.LdTotal));
-    auto Pct = [&](uint64_t X) { return formatPercent(X / N, 1); };
-    SumPartial += S.LdPartial / N;
-    SumMissPf += S.LdMissDueToPf / N;
+    auto Pct = [&](uint64_t X) {
+      return formatPercent(static_cast<double>(X) / N, 1);
+    };
+    SumPartial += static_cast<double>(S.LdPartial) / N;
+    SumMissPf += static_cast<double>(S.LdMissDueToPf) / N;
     T.addRow({workloadNames()[I], Pct(S.LdHitNone), Pct(S.LdHitPrefetched),
               Pct(S.LdPartial), Pct(S.LdMiss), Pct(S.LdMissDueToPf)});
   }
 
   size_t N = workloadNames().size();
   T.addSeparator();
-  T.addRow({"average", "-", "-", formatPercent(SumPartial / N, 1), "-",
-            formatPercent(SumMissPf / N, 1)});
+  T.addRow({"average", "-", "-", formatPercent(SumPartial / static_cast<double>(N), 1), "-",
+            formatPercent(SumMissPf / static_cast<double>(N), 1)});
   std::printf("%s\n", T.render().c_str());
   std::printf("shape check: the miss-due-to-prefetch column should be near "
               "zero everywhere\n(the adaptive prefetcher rarely pollutes), "

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "branch/BranchPredictor.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
@@ -15,7 +15,7 @@ BranchPredictor::~BranchPredictor() = default;
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
 BimodalPredictor::BimodalPredictor(unsigned NumEntries) {
-  assert(isPowerOfTwo(NumEntries) && "table size must be a power of two");
+  TRIDENT_CHECK(isPowerOfTwo(NumEntries), "table size must be a power of two");
   Table.assign(NumEntries, TwoBitCounter(2)); // weakly taken
 }
 
@@ -29,7 +29,7 @@ void BimodalPredictor::update(Addr PC, bool Taken) {
 
 GSharePredictor::GSharePredictor(unsigned NumEntries, unsigned HistoryBits)
     : HistoryMask((uint64_t(1) << HistoryBits) - 1) {
-  assert(isPowerOfTwo(NumEntries) && "table size must be a power of two");
+  TRIDENT_CHECK(isPowerOfTwo(NumEntries), "table size must be a power of two");
   Table.assign(NumEntries, TwoBitCounter(2));
 }
 
@@ -45,7 +45,7 @@ void GSharePredictor::update(Addr PC, bool Taken) {
 MetaPredictor::MetaPredictor(unsigned MetaEntries, unsigned GshareEntries,
                              unsigned BimodalEntries)
     : Gshare(GshareEntries), Bimodal(BimodalEntries) {
-  assert(isPowerOfTwo(MetaEntries) && "table size must be a power of two");
+  TRIDENT_CHECK(isPowerOfTwo(MetaEntries), "table size must be a power of two");
   Meta.assign(MetaEntries, TwoBitCounter(2));
 }
 

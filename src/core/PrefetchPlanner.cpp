@@ -5,9 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/PrefetchPlanner.h"
+#include "support/Check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 
 using namespace trident;
@@ -56,7 +56,7 @@ void PrefetchPlanner::classify(const std::vector<Instruction> &BaseBody,
                                DelinquentLoad &DL,
                                const DelinquentLoadTable &Dlt) const {
   const Instruction &L = BaseBody[DL.BodyIdx];
-  assert(L.isLoad() && "classifying a non-load");
+  TRIDENT_CHECK(L.isLoad(), "classifying a non-load");
   DL.BaseReg = L.Rs1;
   DL.Offset = L.Imm;
 
@@ -128,8 +128,7 @@ std::vector<DelinquentLoad> PrefetchPlanner::identifyDelinquentLoads(
     const std::vector<Instruction> &BaseBody,
     const std::vector<Addr> &InstalledPCs,
     const DelinquentLoadTable &Dlt) const {
-  assert(InstalledPCs.size() == BaseBody.size() &&
-         "PC map must cover the body");
+  TRIDENT_CHECK(InstalledPCs.size() == BaseBody.size(), "PC map must cover the body");
   std::vector<DelinquentLoad> Out;
   for (size_t I = 0; I < BaseBody.size(); ++I) {
     const Instruction &Ins = BaseBody[I];

@@ -154,8 +154,7 @@ struct PlannerConfig {
 
 class PrefetchPlanner {
 public:
-  explicit PrefetchPlanner(const PlannerConfig &Config = {})
-      : Config(Config) {}
+  explicit PrefetchPlanner(const PlannerConfig &Cfg = {}) : Config(Cfg) {}
 
   /// Finds and classifies all delinquent loads of a trace. Analysis runs
   /// over the *base* body (no synthetic instructions); \p InstalledPCs

@@ -5,10 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TridentRuntime.h"
+#include "support/Check.h"
 
 #include <algorithm>
 #include <cmath>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,9 +43,9 @@ const char *trident::prefetchModeName(PrefetchMode M) {
   return "<bad>";
 }
 
-TridentRuntime::TridentRuntime(const RuntimeConfig &Config, Program &Prog,
-                               SmtCore &Core, CodeCache &CC)
-    : Config(Config), Prog(Prog), Core(Core), CC(CC), Patcher(Prog),
+TridentRuntime::TridentRuntime(const RuntimeConfig &Cfg, Program &P,
+                               SmtCore &CoreRef, CodeCache &CCRef)
+    : Config(Cfg), Prog(P), Core(CoreRef), CC(CCRef), Patcher(P),
       Profiler(Config.Profiler), Builder(Config.Builder),
       Watch(Config.WatchEntries), Dlt(Config.Dlt),
       Planner(PlannerConfig{
@@ -103,8 +103,8 @@ void TridentRuntime::accountPhase(Addr PC) {
   std::vector<double> Sig(N + 1, 0.0);
   double Total = static_cast<double>(PhaseCommits);
   for (size_t I = 0; I < PhaseCounts.size(); ++I)
-    Sig[I] = PhaseCounts[I] / Total;
-  Sig[N] = PhaseOtherCommits / Total;
+    Sig[I] = static_cast<double>(PhaseCounts[I]) / Total;
+  Sig[N] = static_cast<double>(PhaseOtherCommits) / Total;
 
   if (!PrevPhaseSignature.empty()) {
     double Dist = 0.0;
@@ -344,7 +344,7 @@ void TridentRuntime::finishTraceFormation(Trace T) {
   M.Id = T.Id;
   M.OrigStart = T.OrigStart;
   M.BaseBody = std::move(T.Body);
-  assert(M.Id == Traces.size() && "trace ids must be dense");
+  TRIDENT_CHECK(M.Id == Traces.size(), "trace ids must be dense");
   Traces.push_back(std::move(M));
   TraceMeta &Meta = Traces.back();
 
@@ -460,7 +460,7 @@ int TridentRuntime::estimateDistance(const TraceMeta &M,
 }
 
 void TridentRuntime::startDelinquentWork(Addr LoadPC, uint32_t TraceId) {
-  assert(TraceId < Traces.size() && "event for unknown trace");
+  TRIDENT_CHECK(TraceId < Traces.size(), "event for unknown trace");
   TraceMeta &M = Traces[TraceId];
 
   auto It = M.LoadPCToBaseIdx.find(LoadPC);

@@ -3,27 +3,32 @@
 // Part of the Trident-SRP reproduction (CGO 2006).
 //
 //===----------------------------------------------------------------------===//
+//
+// trident-lint: hot-path (per-access simulation inner loop; no O(n) erase
+// scans)
+//
+//===----------------------------------------------------------------------===//
 
 #include "cpu/SmtCore.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
 CodeSpace::~CodeSpace() = default;
 CoreListener::~CoreListener() = default;
 
-SmtCore::SmtCore(const CoreConfig &Config, CodeSpace &Code, DataMemory &Data,
-                 MemorySystem &Mem)
-    : Config(Config), Code(Code), Data(Data), Mem(Mem) {
-  assert(Config.NumContexts >= 1 && "need at least one context");
+SmtCore::SmtCore(const CoreConfig &Cfg, CodeSpace &CodeSp, DataMemory &DataMem,
+                 MemorySystem &MemSys)
+    : Config(Cfg), Code(CodeSp), Data(DataMem), Mem(MemSys) {
+  TRIDENT_CHECK(Config.NumContexts >= 1, "need at least one context");
   Ctxs.resize(Config.NumContexts);
 }
 
 void SmtCore::startContext(unsigned Ctx, Addr PC) {
-  assert(Ctx < Ctxs.size() && "context index out of range");
+  TRIDENT_CHECK(Ctx < Ctxs.size(), "context index out of range");
   Context &C = Ctxs[Ctx];
-  assert(!C.StubMode && "context is running a helper stub");
+  TRIDENT_CHECK(!C.StubMode, "context is running a helper stub");
   C.Active = true;
   C.Halted = false;
   C.PC = PC;
@@ -31,23 +36,27 @@ void SmtCore::startContext(unsigned Ctx, Addr PC) {
 }
 
 void SmtCore::setReg(unsigned Ctx, unsigned Reg, uint64_t Value) {
-  assert(Ctx < Ctxs.size() && Reg < reg::NumRegs && "bad register write");
+  TRIDENT_DCHECK(Ctx < Ctxs.size() && Reg < reg::NumRegs,
+                 "bad register write: ctx %u reg %u (have %zu ctxs, %u regs)",
+                 Ctx, Reg, Ctxs.size(), reg::NumRegs);
   if (Reg != reg::Zero)
     Ctxs[Ctx].Regs[Reg] = Value;
 }
 
 uint64_t SmtCore::getReg(unsigned Ctx, unsigned Reg) const {
-  assert(Ctx < Ctxs.size() && Reg < reg::NumRegs && "bad register read");
+  TRIDENT_DCHECK(Ctx < Ctxs.size() && Reg < reg::NumRegs,
+                 "bad register read: ctx %u reg %u (have %zu ctxs, %u regs)",
+                 Ctx, Reg, Ctxs.size(), reg::NumRegs);
   return Reg == reg::Zero ? 0 : Ctxs[Ctx].Regs[Reg];
 }
 
 void SmtCore::startStub(unsigned Ctx, uint64_t Instructions,
                         Cycle StartupDelay,
                         std::function<void(Cycle)> OnDone) {
-  assert(Ctx < Ctxs.size() && "context index out of range");
+  TRIDENT_CHECK(Ctx < Ctxs.size(), "context index out of range");
   Context &C = Ctxs[Ctx];
-  assert(!C.StubMode && "stub already active on this context");
-  assert(!C.Active && "context is running a program");
+  TRIDENT_CHECK(!C.StubMode, "stub already active on this context");
+  TRIDENT_CHECK(!C.Active, "context is running a program");
   C.StubMode = true;
   C.StubRemaining = Instructions;
   C.StubDone = std::move(OnDone);
@@ -61,7 +70,7 @@ void SmtCore::startStub(unsigned Ctx, uint64_t Instructions,
 }
 
 bool SmtCore::stubActive(unsigned Ctx) const {
-  assert(Ctx < Ctxs.size() && "context index out of range");
+  TRIDENT_CHECK(Ctx < Ctxs.size(), "context index out of range");
   return Ctxs[Ctx].StubMode;
 }
 
@@ -242,7 +251,7 @@ Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
     break;
 
   case Opcode::NumOpcodes:
-    assert(false && "invalid opcode");
+    TRIDENT_UNREACHABLE("invalid opcode");
     break;
   }
 
@@ -350,7 +359,15 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
 
   Addr PC = C.PC;
   Cycle Done = executeInstruction(CtxIdx, C, I, PC, DeferUntil);
+  TRIDENT_DCHECK(Done >= DeferUntil,
+                 "instruction completes before it issues (done %llu < issue "
+                 "%llu, pc 0x%llx)",
+                 (unsigned long long)Done, (unsigned long long)DeferUntil,
+                 (unsigned long long)PC);
   Rob.push(Done);
+  TRIDENT_DCHECK(Rob.size() <= Config.RobSize,
+                 "ROB occupancy %zu exceeds capacity %u", Rob.size(),
+                 Config.RobSize);
 
   ++C.Stats.IssuedTotal;
   if (!I.Synthetic)
@@ -411,6 +428,13 @@ SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
         // halted); report a halt to the caller.
         return StopReason::Halted;
       }
+      // Cycle-counter monotonicity: noteWake only records strictly-future
+      // cycles, so a skip-ahead must move time forward. A violation here
+      // means some unit reported an event in the past and the whole
+      // timing feedback loop (trace timing vs. miss latency) is suspect.
+      TRIDENT_CHECK(Wake > Now,
+                    "time skip is not monotonic: wake %llu <= now %llu",
+                    (unsigned long long)Wake, (unsigned long long)Now);
       Now = Wake;
     }
     if (AnyStub)

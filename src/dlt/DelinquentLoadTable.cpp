@@ -3,10 +3,15 @@
 // Part of the Trident-SRP reproduction (CGO 2006).
 //
 //===----------------------------------------------------------------------===//
+//
+// trident-lint: hot-path (per-access simulation inner loop; no O(n) erase
+// scans)
+//
+//===----------------------------------------------------------------------===//
 
 #include "dlt/DelinquentLoadTable.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,13 +27,16 @@ static bool dltDebugEnabled() {
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
-DelinquentLoadTable::DelinquentLoadTable(const DltConfig &Config)
-    : Config(Config), NumSets(Config.NumEntries / Config.Assoc) {
-  assert(Config.Assoc >= 1 && Config.NumEntries % Config.Assoc == 0 &&
-         "entries must divide evenly into sets");
-  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
-  assert(Config.MissThreshold <= Config.MonitorWindow &&
-         "miss threshold cannot exceed the window");
+DelinquentLoadTable::DelinquentLoadTable(const DltConfig &Cfg)
+    : Config(Cfg), NumSets(Config.NumEntries / Config.Assoc) {
+  TRIDENT_CHECK(Config.Assoc >= 1 && Config.NumEntries % Config.Assoc == 0,
+                "%u entries must divide evenly into %u-way sets",
+                Config.NumEntries, Config.Assoc);
+  TRIDENT_CHECK(isPowerOfTwo(NumSets), "set count %zu must be a power of two",
+                NumSets);
+  TRIDENT_CHECK(Config.MissThreshold <= Config.MonitorWindow,
+                "miss threshold %u cannot exceed the %u-access window",
+                Config.MissThreshold, Config.MonitorWindow);
   Entries.resize(Config.NumEntries);
 }
 
@@ -52,6 +60,12 @@ DelinquentLoadTable::Entry &DelinquentLoadTable::findOrAllocate(Addr PC) {
     return *E;
   }
   size_t Base = setIndex(PC) * Config.Assoc;
+  // Size bound: the DLT is a fixed SRAM structure (Table 2); every set
+  // must lie inside the backing array or replacement state is corrupt.
+  TRIDENT_DCHECK(Base + Config.Assoc <= Entries.size(),
+                 "DLT set for pc 0x%llx overruns the table (base %zu + %u > "
+                 "%zu entries)",
+                 (unsigned long long)PC, Base, Config.Assoc, Entries.size());
   Entry *Victim = &Entries[Base];
   for (unsigned W = 0; W < Config.Assoc; ++W) {
     Entry &E = Entries[Base + W];
@@ -101,6 +115,17 @@ bool DelinquentLoadTable::update(Addr LoadPC, Addr EffectiveAddr, bool Miss,
     return false; // Waiting for the helper thread to clear the window.
 
   ++E.Accesses;
+  // Window-counter sanity: counters reset at every window boundary, so an
+  // unfrozen entry can never run past the window, and a window can never
+  // see more misses than accesses.
+  TRIDENT_DCHECK(E.Accesses <= Config.MonitorWindow,
+                 "DLT window overran: %u accesses in a %u-access window "
+                 "(pc 0x%llx)",
+                 E.Accesses, Config.MonitorWindow,
+                 (unsigned long long)LoadPC);
+  TRIDENT_DCHECK(E.Misses < E.Accesses,
+                 "DLT entry for pc 0x%llx counts %u misses in %u accesses",
+                 (unsigned long long)LoadPC, E.Misses, E.Accesses);
   if (Miss) {
     ++E.Misses;
     E.TotalMissLatency += MissLatency;

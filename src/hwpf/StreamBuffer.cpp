@@ -6,14 +6,13 @@
 
 #include "hwpf/StreamBuffer.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace trident;
 
-StreamBufferUnit::StreamBufferUnit(const StreamBufferConfig &Config)
-    : Config(Config), Predictor(Config.HistoryEntries) {
+StreamBufferUnit::StreamBufferUnit(const StreamBufferConfig &Cfg)
+    : Config(Cfg), Predictor(Config.HistoryEntries) {
   Buffers.resize(Config.NumBuffers);
 }
 

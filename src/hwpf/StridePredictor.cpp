@@ -5,15 +5,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "hwpf/StridePredictor.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
 StridePredictor::StridePredictor(unsigned NumEntries) {
-  assert(isPowerOfTwo(NumEntries) && "table size must be a power of two");
+  TRIDENT_CHECK(isPowerOfTwo(NumEntries), "table size must be a power of two");
   Table.resize(NumEntries);
 }
 

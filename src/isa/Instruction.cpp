@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "isa/Instruction.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstdio>
 
 using namespace trident;
@@ -75,8 +75,7 @@ Instruction trident::makeHalt() {
 
 Instruction trident::makeAlu(Opcode Op, unsigned Rd, unsigned Rs1,
                              unsigned Rs2) {
-  assert(execClass(Op) != ExecClass::Mem && readsRs2(Op) &&
-         "not a reg-reg ALU opcode");
+  TRIDENT_CHECK(execClass(Op) != ExecClass::Mem && readsRs2(Op), "not a reg-reg ALU opcode");
   Instruction I;
   I.Op = Op;
   I.Rd = static_cast<uint8_t>(Rd);
@@ -87,7 +86,7 @@ Instruction trident::makeAlu(Opcode Op, unsigned Rd, unsigned Rs1,
 
 Instruction trident::makeAluImm(Opcode Op, unsigned Rd, unsigned Rs1,
                                 int64_t Imm) {
-  assert(!readsRs2(Op) && writesRd(Op) && "not a reg-imm ALU opcode");
+  TRIDENT_CHECK(!readsRs2(Op) && writesRd(Op), "not a reg-imm ALU opcode");
   Instruction I;
   I.Op = Op;
   I.Rd = static_cast<uint8_t>(Rd);
@@ -147,7 +146,7 @@ Instruction trident::makePrefetch(unsigned Base, int64_t Offset) {
 
 Instruction trident::makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
                                 Addr Target) {
-  assert(isConditionalBranch(Op) && "not a conditional branch");
+  TRIDENT_CHECK(isConditionalBranch(Op), "not a conditional branch");
   Instruction I;
   I.Op = Op;
   I.Rs1 = static_cast<uint8_t>(Rs1);

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "isa/Opcode.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
@@ -79,7 +79,7 @@ const char *trident::opcodeName(Opcode Op) {
   case Opcode::NumOpcodes:
     break;
   }
-  assert(false && "invalid opcode");
+  TRIDENT_UNREACHABLE("invalid opcode");
   return "<bad>";
 }
 

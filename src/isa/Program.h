@@ -16,8 +16,8 @@
 #define TRIDENT_ISA_PROGRAM_H
 
 #include "isa/Instruction.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <string>
 #include <vector>
 
@@ -26,10 +26,12 @@ namespace trident {
 class Program {
 public:
   Program() = default;
-  Program(Addr BasePC, std::vector<Instruction> Code, Addr EntryPC)
-      : BasePC(BasePC), EntryPC(EntryPC), Code(std::move(Code)) {
-    assert(EntryPC >= BasePC && EntryPC < BasePC + this->Code.size() &&
-           "entry PC outside program");
+  Program(Addr Base, std::vector<Instruction> Body, Addr Entry)
+      : BasePC(Base), EntryPC(Entry), Code(std::move(Body)) {
+    TRIDENT_CHECK(EntryPC >= BasePC && EntryPC < BasePC + this->Code.size(),
+                  "entry PC 0x%llx outside program [0x%llx, 0x%llx)",
+                  (unsigned long long)EntryPC, (unsigned long long)BasePC,
+                  (unsigned long long)(BasePC + this->Code.size()));
   }
 
   Addr basePC() const { return BasePC; }
@@ -40,12 +42,14 @@ public:
   bool contains(Addr PC) const { return PC >= BasePC && PC < endPC(); }
 
   const Instruction &at(Addr PC) const {
-    assert(contains(PC) && "PC outside program");
+    TRIDENT_DCHECK(contains(PC), "PC 0x%llx outside program",
+                   (unsigned long long)PC);
     return Code[PC - BasePC];
   }
 
   Instruction &at(Addr PC) {
-    assert(contains(PC) && "PC outside program");
+    TRIDENT_DCHECK(contains(PC), "PC 0x%llx outside program",
+                   (unsigned long long)PC);
     return Code[PC - BasePC];
   }
 

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "isa/ProgramBuilder.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstdio>
 
 using namespace trident;
@@ -25,7 +25,7 @@ std::string Program::disassemble() const {
 }
 
 ProgramBuilder &ProgramBuilder::label(const std::string &Name) {
-  assert(!Labels.count(Name) && "label redefined");
+  TRIDENT_CHECK(!Labels.count(Name), "label redefined");
   Labels[Name] = here();
   return *this;
 }
@@ -55,10 +55,10 @@ ProgramBuilder &ProgramBuilder::entryHere() {
 Program ProgramBuilder::finish() {
   for (const auto &[Index, Label] : Fixups) {
     auto It = Labels.find(Label);
-    assert(It != Labels.end() && "reference to undefined label");
+    TRIDENT_CHECK(It != Labels.end(), "reference to undefined label");
     Code[Index].Imm = static_cast<int64_t>(It->second);
   }
-  assert(!Code.empty() && "empty program");
+  TRIDENT_CHECK(!Code.empty(), "empty program");
   Addr Entry = EntrySet ? EntryPC : BasePC;
   Program P(BasePC, std::move(Code), Entry);
   Code.clear();

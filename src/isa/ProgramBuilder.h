@@ -24,7 +24,7 @@ namespace trident {
 
 class ProgramBuilder {
 public:
-  explicit ProgramBuilder(Addr BasePC = 0x1000) : BasePC(BasePC) {}
+  explicit ProgramBuilder(Addr Base = 0x1000) : BasePC(Base) {}
 
   /// Defines \p Name at the current emission point. A label may be defined
   /// once and referenced any number of times, before or after definition.

@@ -3,19 +3,25 @@
 // Part of the Trident-SRP reproduction (CGO 2006).
 //
 //===----------------------------------------------------------------------===//
+//
+// trident-lint: hot-path (per-access lookup/insert; no O(n) erase scans)
+//
+//===----------------------------------------------------------------------===//
 
 #include "mem/Cache.h"
-
-#include <cassert>
+#include "support/Check.h"
 
 using namespace trident;
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
-Cache::Cache(const CacheConfig &Config)
-    : Config(Config), Sets(Config.numSets()) {
-  assert(isPowerOfTwo(Sets) && "number of sets must be a power of two");
-  assert(isPowerOfTwo(Config.LineSize) && "line size must be a power of two");
+Cache::Cache(const CacheConfig &Cfg) : Config(Cfg), Sets(Config.numSets()) {
+  TRIDENT_CHECK(isPowerOfTwo(Sets),
+                "%s set count %llu must be a power of two",
+                Config.Name.c_str(), (unsigned long long)Sets);
+  TRIDENT_CHECK(isPowerOfTwo(Config.LineSize),
+                "%s line size %u must be a power of two", Config.Name.c_str(),
+                Config.LineSize);
   SetArray.resize(Sets);
   for (auto &S : SetArray)
     S.Ways.resize(Config.Assoc);
@@ -38,7 +44,10 @@ bool Cache::SetState::consumeVictim(uint64_t Tag) {
 }
 
 Cache::LookupResult Cache::lookup(Addr LineAddr) {
-  assert((LineAddr & (Config.LineSize - 1)) == 0 && "unaligned line address");
+  TRIDENT_DCHECK((LineAddr & (Config.LineSize - 1)) == 0,
+                 "unaligned %s line address 0x%llx (line size %u)",
+                 Config.Name.c_str(), (unsigned long long)LineAddr,
+                 Config.LineSize);
   SetState &S = SetArray[setIndex(LineAddr)];
   uint64_t Tag = tagOf(LineAddr);
   for (Line &L : S.Ways) {
@@ -60,7 +69,10 @@ const Cache::Line *Cache::peek(Addr LineAddr) const {
 }
 
 void Cache::insert(Addr LineAddr, Cycle FillReady, bool Prefetched) {
-  assert((LineAddr & (Config.LineSize - 1)) == 0 && "unaligned line address");
+  TRIDENT_DCHECK((LineAddr & (Config.LineSize - 1)) == 0,
+                 "unaligned %s line address 0x%llx (line size %u)",
+                 Config.Name.c_str(), (unsigned long long)LineAddr,
+                 Config.LineSize);
   SetState &S = SetArray[setIndex(LineAddr)];
   uint64_t Tag = tagOf(LineAddr);
 

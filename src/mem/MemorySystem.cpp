@@ -3,11 +3,16 @@
 // Part of the Trident-SRP reproduction (CGO 2006).
 //
 //===----------------------------------------------------------------------===//
+//
+// trident-lint: hot-path (per-access simulation inner loop; no O(n) erase
+// scans)
+//
+//===----------------------------------------------------------------------===//
 
 #include "mem/MemorySystem.h"
+#include "support/Check.h"
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 
 using namespace trident;
@@ -15,11 +20,12 @@ using namespace trident;
 MemoryBackend::~MemoryBackend() = default;
 HwPrefetcher::~HwPrefetcher() = default;
 
-MemorySystem::MemorySystem(const MemSystemConfig &Config)
-    : Config(Config), L1(Config.L1), L2(Config.L2), L3(Config.L3) {
-  assert(Config.L1.LineSize == Config.L2.LineSize &&
-         Config.L2.LineSize == Config.L3.LineSize &&
-         "hierarchy levels must share a line size");
+MemorySystem::MemorySystem(const MemSystemConfig &Cfg)
+    : Config(Cfg), L1(Config.L1), L2(Config.L2), L3(Config.L3) {
+  TRIDENT_CHECK(Config.L1.LineSize == Config.L2.LineSize &&
+                    Config.L2.LineSize == Config.L3.LineSize,
+                "hierarchy levels must share a line size (L1 %u, L2 %u, L3 %u)",
+                Config.L1.LineSize, Config.L2.LineSize, Config.L3.LineSize);
   if (Config.Tlb.Enable)
     Dtlb = std::make_unique<Tlb>(Config.Tlb);
 }
@@ -39,6 +45,10 @@ Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
   }
   if (OutstandingFills.size() >= Config.NumMSHRs) {
     // All MSHRs busy: the new fill waits for the earliest completion.
+    TRIDENT_DCHECK(OutstandingFills.front() > IssueCycle,
+                   "stale fill survived the purge (root %llu <= issue %llu)",
+                   (unsigned long long)OutstandingFills.front(),
+                   (unsigned long long)IssueCycle);
     Cycle Delay = OutstandingFills.front() - IssueCycle;
     std::pop_heap(OutstandingFills.begin(), OutstandingFills.end(), Greater);
     OutstandingFills.pop_back();
@@ -46,6 +56,15 @@ Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
   }
   OutstandingFills.push_back(Ready);
   std::push_heap(OutstandingFills.begin(), OutstandingFills.end(), Greater);
+  // MSHR-heap bound: the structure models a fixed hardware resource; one
+  // slot was freed above whenever the table was full, so occupancy can
+  // never exceed the configured MSHR count.
+  TRIDENT_DCHECK(OutstandingFills.size() <= Config.NumMSHRs,
+                 "MSHR heap holds %zu fills but only %u MSHRs exist",
+                 OutstandingFills.size(), Config.NumMSHRs);
+  TRIDENT_DCHECK(Ready >= IssueCycle,
+                 "fill ready %llu before its issue cycle %llu",
+                 (unsigned long long)Ready, (unsigned long long)IssueCycle);
   return Ready;
 }
 
@@ -71,6 +90,13 @@ Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
   // Memory: serialize on the shared bus, then pay the full latency.
   ++Stats.MemoryFetches;
   Cycle BusStart = std::max(Now, BusNextFree);
+  // Bus hand-off monotonicity: each transfer occupies the bus strictly
+  // after the previous one; a rewind would let two fills overlap and
+  // under-report memory contention.
+  TRIDENT_DCHECK(BusStart + Config.BusOccupancy >= BusNextFree,
+                 "bus schedule rewound (start %llu, next-free %llu)",
+                 (unsigned long long)BusStart,
+                 (unsigned long long)BusNextFree);
   BusNextFree = BusStart + Config.BusOccupancy;
   Cycle Ready = BusStart + Config.MemoryLatency;
   bool Prefetched = isPrefetchKind(Kind);
@@ -179,7 +205,8 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
       L1.insert(LineAddr, Ready, /*Prefetched=*/true);
       if (DemandLoad) {
         Cache::LookupResult LR = L1.lookup(LineAddr);
-        assert(LR.L && "line we just inserted must be present");
+        TRIDENT_DCHECK(LR.L, "line 0x%llx we just inserted must be present",
+                       (unsigned long long)LineAddr);
         LR.L->Untouched = false;
       }
       R.ReadyCycle = Ready;
@@ -201,7 +228,8 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   L1.insert(LineAddr, Ready, isPrefetchKind(Kind));
   if (!isPrefetchKind(Kind)) {
     Cache::LookupResult LR = L1.lookup(LineAddr);
-    assert(LR.L && "line we just inserted must be present");
+    TRIDENT_DCHECK(LR.L, "line 0x%llx we just inserted must be present",
+                   (unsigned long long)LineAddr);
     LR.L->Untouched = false;
   }
 
@@ -221,6 +249,11 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   if (Pf && Kind != AccessKind::HardwarePrefetch)
     Pf->trainOnMiss(PC, ByteAddr, Now, *this);
 
+  // Causality: no access completes before it starts.
+  TRIDENT_DCHECK(R.ReadyCycle >= Now,
+                 "access to 0x%llx ready at %llu, before issue at %llu",
+                 (unsigned long long)ByteAddr,
+                 (unsigned long long)R.ReadyCycle, (unsigned long long)Now);
   return R;
 }
 

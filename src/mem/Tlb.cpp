@@ -5,18 +5,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "mem/Tlb.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
-Tlb::Tlb(const TlbConfig &Config)
-    : Config(Config), NumSets(Config.NumEntries / Config.Assoc) {
-  assert(Config.Assoc >= 1 && Config.NumEntries % Config.Assoc == 0 &&
-         "entries must divide evenly into sets");
-  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
+Tlb::Tlb(const TlbConfig &Cfg)
+    : Config(Cfg), NumSets(Config.NumEntries / Config.Assoc) {
+  TRIDENT_CHECK(Config.Assoc >= 1 && Config.NumEntries % Config.Assoc == 0,
+                "%u entries must divide evenly into %u-way sets",
+                Config.NumEntries, Config.Assoc);
+  TRIDENT_CHECK(isPowerOfTwo(NumSets), "set count %zu must be a power of two",
+                NumSets);
   Entries.resize(Config.NumEntries);
 }
 

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/ExperimentRunner.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_map>
@@ -158,7 +158,12 @@ std::string cacheKey(const std::string &WorkloadName, uint64_t Fingerprint) {
   char Buf[17];
   std::snprintf(Buf, sizeof(Buf), "%016llx",
                 static_cast<unsigned long long>(Fingerprint));
-  return WorkloadName + '\0' + std::string(Buf);
+  std::string Key;
+  Key.reserve(WorkloadName.size() + 1 + 16);
+  Key.append(WorkloadName);
+  Key.push_back('\0');
+  Key.append(Buf);
+  return Key;
 }
 
 } // namespace
@@ -277,10 +282,20 @@ ExperimentRunner::runBatch(const std::vector<ExperimentJob> &Jobs) {
   for (size_t G = 0; G < ToRun.size(); ++G) {
     const ExperimentJob &Job = Jobs[ToRun[G].FirstJob];
     Batch.push_back([this, &Job, &GroupResults, &ToRun, G] {
+      // Fingerprint stability: a memo key must describe the simulation it
+      // caches. If running the simulation perturbed the config (aliasing,
+      // a stray const_cast), every later cache hit on this key would
+      // silently return results for a different experiment.
+      const uint64_t FingerprintBefore =
+          UseCache ? configFingerprint(Job.Config) : 0;
       auto R = std::make_shared<const SimResult>(
           runSimulation(Job.W, Job.Config));
       GroupResults[G] = R;
       if (UseCache) {
+        TRIDENT_CHECK(configFingerprint(Job.Config) == FingerprintBefore,
+                      "config fingerprint changed across runSimulation for "
+                      "workload '%s'; the memo cache key is unstable",
+                      Job.W.Name.c_str());
         ResultCache &C = ResultCache::instance();
         std::lock_guard<std::mutex> L(C.Mu);
         C.Map.emplace(ToRun[G].Key, std::move(R));
@@ -290,7 +305,9 @@ ExperimentRunner::runBatch(const std::vector<ExperimentJob> &Jobs) {
 
   {
     std::lock_guard<std::mutex> L(Mu);
-    assert(NextTask >= Tasks.size() && "runBatch is not reentrant");
+    TRIDENT_CHECK(NextTask >= Tasks.size(),
+                  "runBatch is not reentrant (task %zu of %zu still queued)",
+                  NextTask, Tasks.size());
     Tasks = std::move(Batch);
     NextTask = 0;
     Completed = 0;

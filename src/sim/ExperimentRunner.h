@@ -29,6 +29,32 @@
 /// ad-hoc workloads from the generators, give distinct variants distinct
 /// names (or disable the cache for that batch).
 ///
+/// Synchronization contract (audited under TSan; see
+/// tests/runner_race_test.cpp):
+///
+///  * The memo cache is a single std::unordered_map guarded by one mutex
+///    (ResultCache::Mu). Every read and write — the batch-front lookup,
+///    worker insertion, clearResultCache(), resultCacheSize() — holds
+///    that mutex; no entry is published by any other means.
+///
+///  * Values are std::shared_ptr<const SimResult>. Publication hands out
+///    a copy of the shared_ptr under the mutex; the pointed-to SimResult
+///    is immutable after construction, so concurrent readers of a cached
+///    result never synchronize beyond the shared_ptr control block.
+///
+///  * Two runners (or one runner across batches) may race to simulate the
+///    same key: the cache deliberately does NOT hold its mutex during
+///    simulation. Both compute bit-identical results (determinism is
+///    load-bearing here and asserted by tests); the first emplace wins
+///    and the loser's result is dropped. This trades duplicated work in
+///    a rare case for never blocking the pool on a long simulation.
+///
+///  * Batch state (Tasks/NextTask/Completed) is guarded by the runner's
+///    own mutex Mu; workers claim a task under Mu, run it unlocked (each
+///    job owns its whole machine), and report completion under Mu.
+///    runBatch's final read of GroupResults is ordered after all worker
+///    writes by the Completed == Tasks.size() wait on Mu.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRIDENT_SIM_EXPERIMENTRUNNER_H

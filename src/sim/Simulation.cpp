@@ -7,9 +7,8 @@
 #include "sim/Simulation.h"
 
 #include "branch/BranchPredictor.h"
+#include "support/Check.h"
 #include "trident/CodeCache.h"
-
-#include <cassert>
 
 using namespace trident;
 
@@ -81,7 +80,9 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
   // (Section 4.2).
   if (Config.WarmupInstructions > 0) {
     SmtCore::StopReason R = Core.run(Config.WarmupInstructions);
-    assert(R != SmtCore::StopReason::CycleLimit && "warmup hit cycle cap");
+    TRIDENT_CHECK(R != SmtCore::StopReason::CycleLimit,
+                  "warmup of %llu instructions hit the cycle cap",
+                  (unsigned long long)Config.WarmupInstructions);
     (void)R;
   }
   if (Runtime)
@@ -95,6 +96,11 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
   Cycle Start = Core.now();
   SmtCore::StopReason Stop = Core.run(Config.SimInstructions);
   Cycle End = Core.now();
+  // The measurement window runs strictly forward from the warmed-up state
+  // (cycle-counter monotonicity across the warmup/measure boundary).
+  TRIDENT_CHECK(End >= Start,
+                "measurement window ran backwards: start %llu, end %llu",
+                (unsigned long long)Start, (unsigned long long)End);
 
   SimResult Res;
   Res.Workload = W.Name;
@@ -103,10 +109,17 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
                              prefetchModeName(Config.Runtime.Mode)
                        : hwPfConfigName(Config.HwPf);
   Res.Instructions = Core.stats(0).CommittedOriginal;
+  TRIDENT_CHECK(Stop != SmtCore::StopReason::CommitTarget ||
+                    Res.Instructions >= Config.SimInstructions,
+                "run stopped at the commit target with only %llu of %llu "
+                "instructions committed",
+                (unsigned long long)Res.Instructions,
+                (unsigned long long)Config.SimInstructions);
   Res.Cycles = End - Start;
   Res.Ipc = Res.Cycles == 0
                 ? 0.0
-                : static_cast<double>(Res.Instructions) / Res.Cycles;
+                : static_cast<double>(Res.Instructions) /
+                      static_cast<double>(Res.Cycles);
   Res.Mem = Mem.stats();
   if (Runtime) {
     Res.Runtime = Runtime->stats();

@@ -70,7 +70,8 @@ struct SimResult {
 
   double helperActiveFraction() const {
     return Cycles == 0 ? 0.0
-                       : static_cast<double>(HelperBusyCycles) / Cycles;
+                       : static_cast<double>(HelperBusyCycles) /
+                             static_cast<double>(Cycles);
   }
 };
 

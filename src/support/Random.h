@@ -19,7 +19,8 @@
 #ifndef TRIDENT_SUPPORT_RANDOM_H
 #define TRIDENT_SUPPORT_RANDOM_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -42,7 +43,7 @@ public:
 
   /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
   uint64_t nextBelow(uint64_t Bound) {
-    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    TRIDENT_DCHECK(Bound != 0, "nextBelow requires a nonzero bound");
     // Multiply-shift trick; bias is negligible for our bounds.
     return static_cast<uint64_t>(
         (static_cast<unsigned __int128>(next()) * Bound) >> 64);

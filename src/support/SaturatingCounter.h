@@ -17,7 +17,6 @@
 #define TRIDENT_SUPPORT_SATURATINGCOUNTER_H
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 
 namespace trident {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Statistics.h"
+#include "support/Check.h"
 
 using namespace trident;
 
@@ -22,7 +23,7 @@ double trident::geometricMean(const std::vector<double> &Xs) {
     return 0.0;
   double LogSum = 0.0;
   for (double X : Xs) {
-    assert(X > 0 && "geometric mean requires positive values");
+    TRIDENT_CHECK(X > 0, "geometric mean requires positive values");
     LogSum += std::log(X);
   }
   return std::exp(LogSum / static_cast<double>(Xs.size()));

@@ -14,7 +14,8 @@
 #ifndef TRIDENT_SUPPORT_STATISTICS_H
 #define TRIDENT_SUPPORT_STATISTICS_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -34,7 +35,7 @@ public:
 
   uint64_t count() const { return Count; }
   double sum() const { return Sum; }
-  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / static_cast<double>(Count); }
   double min() const { return Count == 0 ? 0.0 : Min; }
   double max() const { return Count == 0 ? 0.0 : Max; }
 
@@ -60,7 +61,7 @@ class Histogram {
 public:
   Histogram(double BucketWidth, unsigned NumBuckets)
       : Width(BucketWidth), Counts(NumBuckets + 1, 0) {
-    assert(BucketWidth > 0 && NumBuckets > 0 && "degenerate histogram");
+    TRIDENT_CHECK(BucketWidth > 0 && NumBuckets > 0, "degenerate histogram");
   }
 
   void addSample(double X) {

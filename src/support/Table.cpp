@@ -5,18 +5,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Table.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstdio>
 
 using namespace trident;
 
-Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
-  assert(!this->Header.empty() && "table needs at least one column");
+Table::Table(std::vector<std::string> Columns) : Header(std::move(Columns)) {
+  TRIDENT_CHECK(!Header.empty(), "table needs at least one column");
 }
 
 void Table::addRow(std::vector<std::string> Row) {
-  assert(Row.size() == Header.size() && "row arity mismatch");
+  TRIDENT_CHECK(Row.size() == Header.size(), "row arity mismatch");
   Rows.push_back(std::move(Row));
 }
 

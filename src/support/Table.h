@@ -21,6 +21,8 @@
 namespace trident {
 
 /// Column-aligned ASCII table. Add a header once, then rows of equal arity.
+// trident-lint: not-a-hw-table(render-time report builder, rows are
+// bounded by the workload list, not a modeled SRAM)
 class Table {
 public:
   explicit Table(std::vector<std::string> Header);

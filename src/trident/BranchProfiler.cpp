@@ -5,18 +5,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "trident/BranchProfiler.h"
+#include "support/Check.h"
 
-#include <cassert>
 #include <cstring>
 
 using namespace trident;
 
-BranchProfiler::BranchProfiler(const BranchProfilerConfig &Config)
-    : Config(Config) {
-  assert(Config.NumEntries % Config.Assoc == 0 &&
-         "entries must divide evenly into sets");
-  assert(Config.Rounds >= 1 && Config.Rounds <= 8 && "1..8 capture rounds");
-  assert(Config.BitmapBits <= 16 && "bitmaps are 16 bits wide");
+BranchProfiler::BranchProfiler(const BranchProfilerConfig &Cfg)
+    : Config(Cfg) {
+  TRIDENT_CHECK(Config.NumEntries % Config.Assoc == 0,
+                "%u entries must divide evenly into %u-way sets",
+                Config.NumEntries, Config.Assoc);
+  TRIDENT_CHECK(Config.Rounds >= 1 && Config.Rounds <= 8,
+                "%u capture rounds outside 1..8", Config.Rounds);
+  TRIDENT_CHECK(Config.BitmapBits <= 16,
+                "bitmaps are 16 bits wide (asked for %u)", Config.BitmapBits);
   Entries.resize(Config.NumEntries);
 }
 

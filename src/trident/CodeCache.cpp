@@ -5,12 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "trident/CodeCache.h"
+#include "support/Check.h"
 
 using namespace trident;
 
 Addr CodeCache::install(const std::vector<Instruction> &Body,
                         uint32_t TraceId) {
-  assert(!Body.empty() && "installing an empty trace");
+  TRIDENT_CHECK(!Body.empty(), "installing an empty trace");
   Addr Start = Base + Slots.size();
   Slots.insert(Slots.end(), Body.begin(), Body.end());
   SlotTraceIds.insert(SlotTraceIds.end(), Body.size(), TraceId);
@@ -32,7 +33,7 @@ void BinaryPatcher::patchJump(Addr At, Addr Target) {
 
 void BinaryPatcher::restore(Addr At) {
   auto It = Saved.find(At);
-  assert(It != Saved.end() && "restoring an unpatched address");
+  TRIDENT_CHECK(It != Saved.end(), "restoring an unpatched address");
   Prog.at(At) = It->second;
   Saved.erase(It);
 }

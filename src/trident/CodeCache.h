@@ -20,12 +20,15 @@
 
 #include "cpu/CodeSpace.h"
 #include "isa/Program.h"
+#include "support/Check.h"
 
 #include <unordered_map>
 #include <vector>
 
 namespace trident {
 
+// trident-lint: not-a-hw-table(the Code Cache is a software memory buffer
+// in the optimizer's address space, not a fixed SRAM; Section 3.2)
 class CodeCache {
 public:
   /// Traces live at and above this address; anything below is the original
@@ -41,20 +44,23 @@ public:
   }
 
   const Instruction &at(Addr PC) const {
-    assert(contains(PC) && "PC outside code cache");
+    TRIDENT_DCHECK(contains(PC), "PC 0x%llx outside code cache",
+                   (unsigned long long)PC);
     return Slots[PC - Base];
   }
 
   /// Mutable access — this is how the self-repairing optimizer rewrites a
   /// prefetch instruction's distance without regenerating the trace.
   Instruction &at(Addr PC) {
-    assert(contains(PC) && "PC outside code cache");
+    TRIDENT_DCHECK(contains(PC), "PC 0x%llx outside code cache",
+                   (unsigned long long)PC);
     return Slots[PC - Base];
   }
 
   /// TraceId owning the slot at \p PC.
   uint32_t traceIdAt(Addr PC) const {
-    assert(contains(PC) && "PC outside code cache");
+    TRIDENT_DCHECK(contains(PC), "PC 0x%llx outside code cache",
+                   (unsigned long long)PC);
     return SlotTraceIds[PC - Base];
   }
 
@@ -90,7 +96,7 @@ private:
 /// Unified instruction fetch over (patched) program + code cache.
 class CodeImage final : public CodeSpace {
 public:
-  CodeImage(Program &P, CodeCache &CC) : Prog(P), CC(CC) {}
+  CodeImage(Program &P, CodeCache &CCRef) : Prog(P), CC(CCRef) {}
 
   const Instruction &fetch(Addr PC) const override {
     if (CC.contains(PC))

@@ -5,10 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "trident/TraceBuilder.h"
+#include "support/Check.h"
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <optional>
 
 using namespace trident;
@@ -24,7 +24,7 @@ static Opcode invertBranch(Opcode Op) {
   case Opcode::Bge:
     return Opcode::Blt;
   default:
-    assert(false && "not a conditional branch");
+    TRIDENT_UNREACHABLE("not a conditional branch");
     return Op;
   }
 }

@@ -50,8 +50,7 @@ struct ClassicalOptStats {
 
 class TraceBuilder {
 public:
-  explicit TraceBuilder(const TraceBuilderConfig &Config = {})
-      : Config(Config) {}
+  explicit TraceBuilder(const TraceBuilderConfig &Cfg = {}) : Config(Cfg) {}
 
   /// Builds a trace for \p Candidate over \p Prog. Returns nullopt when
   /// the path immediately leaves the program or is degenerate. \p Id tags

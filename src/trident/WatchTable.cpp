@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "trident/WatchTable.h"
+#include "support/Check.h"
 
-#include <cassert>
 
 using namespace trident;
 
 WatchTable::WatchTable(unsigned NumEntries) {
-  assert(NumEntries > 0 && "watch table needs at least one entry");
+  TRIDENT_CHECK(NumEntries > 0, "watch table needs at least one entry");
+  TRIDENT_CHECK(NumEntries <= 1u << 20,
+                "watch table size %u is implausible for an SRAM structure",
+                NumEntries);
   Entries.resize(NumEntries);
   LastTouch.assign(NumEntries, 0);
 }
@@ -29,6 +32,11 @@ bool WatchTable::insert(uint32_t TraceId, Addr OrigStart, Addr TraceStart,
     if (LastTouch[I] < LastTouch[VictimIdx])
       VictimIdx = I;
   }
+  // Capacity bound: replacement always lands inside the fixed-size table;
+  // occupancy can never exceed the configured entry count.
+  TRIDENT_DCHECK(VictimIdx < Entries.size(),
+                 "watch-table victim slot %zu outside table of %zu",
+                 VictimIdx, Entries.size());
   WatchEntry &E = Entries[VictimIdx];
   E = WatchEntry();
   E.Valid = true;
@@ -80,6 +88,14 @@ void WatchTable::recordIteration(uint32_t TraceId, Cycle IterTime) {
     E->MinExecTime = IterTime;
   E->IterTimeSum += IterTime;
   ++E->IterCount;
+  // The minimum can only fall and stays consistent with the running sum:
+  // the Section 3.5.2 distance estimate divides by these numbers.
+  TRIDENT_DCHECK(E->MinExecTime * E->IterCount <= E->IterTimeSum,
+                 "watch entry %u: min iter time %llu inconsistent with "
+                 "sum %llu over %llu iterations",
+                 TraceId, (unsigned long long)E->MinExecTime,
+                 (unsigned long long)E->IterTimeSum,
+                 (unsigned long long)E->IterCount);
 }
 
 unsigned WatchTable::size() const {

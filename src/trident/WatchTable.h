@@ -45,7 +45,8 @@ struct WatchEntry {
   bool hasTiming() const { return IterCount > 0; }
   double avgExecTime() const {
     return IterCount == 0 ? 0.0
-                          : static_cast<double>(IterTimeSum) / IterCount;
+                          : static_cast<double>(IterTimeSum) /
+                                static_cast<double>(IterCount);
   }
 };
 

@@ -8,9 +8,9 @@
 
 #include "isa/ProgramBuilder.h"
 #include "support/Random.h"
+#include "support/Check.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace trident;
 
@@ -21,7 +21,7 @@ using namespace trident;
 Addr trident::buildLinkedList(DataMemory &Mem, Addr Base, uint64_t NumNodes,
                               unsigned NodeSize, unsigned LinkOffset,
                               bool Shuffled, uint64_t Seed) {
-  assert(NumNodes >= 2 && "list needs at least two nodes");
+  TRIDENT_CHECK(NumNodes >= 2, "list needs at least two nodes");
   std::vector<uint64_t> Order(NumNodes);
   for (uint64_t I = 0; I < NumNodes; ++I)
     Order[I] = I;
@@ -50,8 +50,7 @@ Addr trident::buildRunShuffledList(DataMemory &Mem, Addr Base,
                                    uint64_t NumNodes, unsigned NodeSize,
                                    unsigned LinkOffset, unsigned RunLength,
                                    uint64_t Seed) {
-  assert(RunLength >= 1 && NumNodes >= 2 * RunLength &&
-         "need at least two runs");
+  TRIDENT_CHECK(RunLength >= 1 && NumNodes >= 2 * RunLength, "need at least two runs");
   uint64_t NumRuns = NumNodes / RunLength;
   std::vector<uint64_t> RunOrder(NumRuns);
   for (uint64_t I = 0; I < NumRuns; ++I)
@@ -411,7 +410,7 @@ Workload makeDot() {
           B.finish(), [](DataMemory &M) {
             [[maybe_unused]] Addr Head = buildLinkedList(
                 M, RegionA, Nodes, 128, 0, /*Shuffled=*/true, /*Seed=*/7);
-            assert(Head == RegionA && "rotated list must lead at Base");
+            TRIDENT_CHECK(Head == RegionA, "rotated list must lead at Base");
           }};
 }
 
@@ -462,7 +461,7 @@ Workload makeParser() {
             [[maybe_unused]] Addr Head = buildLinkedList(
                 M, RegionA, ChaseNodes, 64, 0, /*Shuffled=*/true,
                 /*Seed=*/13);
-            assert(Head == RegionA && "rotated list must lead at Base");
+            TRIDENT_CHECK(Head == RegionA, "rotated list must lead at Base");
           }};
 }
 
@@ -601,7 +600,7 @@ Workload trident::makeWorkload(const std::string &Name) {
     return makeVis();
   if (Name == "wupwise")
     return makeWupwise();
-  assert(false && "unknown workload name");
+  TRIDENT_UNREACHABLE("unknown workload name");
   return makeSwim();
 }
 
@@ -618,9 +617,8 @@ std::vector<Workload> trident::makeAllWorkloads() {
 
 Workload trident::makeStrideLoopWorkload(const StrideLoopSpec &Spec,
                                          const std::string &Name) {
-  assert(Spec.NumStreams >= 1 && Spec.NumStreams <= 12 &&
-         "1..12 streams supported (register budget)");
-  assert(Spec.Stride != 0 && "stride must be nonzero");
+  TRIDENT_CHECK(Spec.NumStreams >= 1 && Spec.NumStreams <= 12, "1..12 streams supported (register budget)");
+  TRIDENT_CHECK(Spec.Stride != 0, "stride must be nonzero");
   ProgramBuilder B;
   for (unsigned K = 0; K < Spec.NumStreams; ++K)
     B.loadImm(1 + K, Spec.Base + uint64_t(K) * 0x0400'0000 +
@@ -650,8 +648,8 @@ Workload trident::makeStrideLoopWorkload(const StrideLoopSpec &Spec,
 
 Workload trident::makePointerChaseWorkload(const PointerChaseSpec &Spec,
                                            const std::string &Name) {
-  assert(Spec.FieldOffsets.size() <= 8 && "at most 8 field loads");
-  assert(Spec.NodeSize >= 8 && "node must hold the link pointer");
+  TRIDENT_CHECK(Spec.FieldOffsets.size() <= 8, "at most 8 field loads");
+  TRIDENT_CHECK(Spec.NodeSize >= 8, "node must hold the link pointer");
   ProgramBuilder B;
   B.loadImm(1, Spec.Base);
   B.loadImm(4, 0).loadImm(5, FarLimit);
@@ -690,8 +688,7 @@ Workload trident::makePointerChaseWorkload(const PointerChaseSpec &Spec,
 
 Workload trident::makeGatherWorkload(const GatherSpec &Spec,
                                      const std::string &Name) {
-  assert(Spec.FieldOffsets.size() >= 1 && Spec.FieldOffsets.size() <= 8 &&
-         "1..8 dereference loads");
+  TRIDENT_CHECK(Spec.FieldOffsets.size() >= 1 && Spec.FieldOffsets.size() <= 8, "1..8 dereference loads");
   ProgramBuilder B;
   B.loadImm(1, Spec.ArrayBase);
   B.loadImm(27, Spec.ArrayBase + Spec.Entries * 8);

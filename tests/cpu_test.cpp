@@ -16,7 +16,7 @@ namespace {
 /// Simple code space over a plain program (no code cache).
 class ProgramSpace final : public CodeSpace {
 public:
-  explicit ProgramSpace(Program &P) : P(P) {}
+  explicit ProgramSpace(Program &Prog) : P(Prog) {}
   const Instruction &fetch(Addr PC) const override { return P.at(PC); }
 
 private:

@@ -69,7 +69,8 @@ Program randomLoopProgram(uint64_t Seed, unsigned TripCount) {
       break;
     case 7: {
       // Stable inner branch: direction depends on a loop-invariant bit.
-      std::string Skip = "s" + std::to_string(B.here());
+      std::string Skip = std::to_string(B.here());
+      Skip.insert(0, 1, 's');
       B.beq(0, 0, Skip); // always taken
       B.alu(Opcode::Add, Rd, Ra, Rb);
       B.label(Skip);
@@ -312,6 +313,9 @@ INSTANTIATE_TEST_SUITE_P(
                       DltParams{256, 8}, DltParams{256, 16},
                       DltParams{512, 8}, DltParams{512, 61}),
     [](const ::testing::TestParamInfo<DltParams> &I) {
-      return "w" + std::to_string(I.param.Window) + "_m" +
-             std::to_string(I.param.MissThreshold);
+      std::string Name = "w";
+      Name += std::to_string(I.param.Window);
+      Name += "_m";
+      Name += std::to_string(I.param.MissThreshold);
+      return Name;
     });

@@ -184,11 +184,12 @@ int main(int argc, char **argv) {
     else if (!std::strcmp(A, "--phase-adapt"))
       PhaseAdapt = true;
     else if (!std::strcmp(A, "--dlt-entries"))
-      DltEntries = std::strtoul(needValue(I), nullptr, 10);
+      DltEntries = static_cast<unsigned>(std::strtoul(needValue(I), nullptr, 10));
     else if (!std::strcmp(A, "--window"))
-      Window = std::strtoul(needValue(I), nullptr, 10);
+      Window = static_cast<unsigned>(std::strtoul(needValue(I), nullptr, 10));
     else if (!std::strcmp(A, "--miss-threshold"))
-      MissThreshold = std::strtoul(needValue(I), nullptr, 10);
+      MissThreshold =
+          static_cast<unsigned>(std::strtoul(needValue(I), nullptr, 10));
     else if (!std::strcmp(A, "--distance-cap"))
       DistanceCap = std::atoi(needValue(I));
     else if (!std::strcmp(A, "--verbose"))
