@@ -93,6 +93,29 @@ inline std::string pctOver(const SimResult &A, const SimResult &Base) {
   return formatPercent(speedup(A, Base) - 1.0, 1);
 }
 
+/// Prints one machine-readable line summarizing event-plumbing health
+/// across a figure's runs: total events dropped by the bounded runtime
+/// queue and the worst per-run peak occupancy. A healthy configuration
+/// drops nothing; a non-zero count means MaxPendingEvents is throttling
+/// the optimizer and the figure should be read with that in mind.
+inline void
+printEventHealthJson(const std::vector<std::shared_ptr<const SimResult>> &Rs) {
+  uint64_t Dropped = 0, Peak = 0, Runs = 0;
+  for (const auto &R : Rs) {
+    if (!R)
+      continue;
+    ++Runs;
+    Dropped += R->Runtime.EventsDropped;
+    if (R->Runtime.PeakPendingEvents > Peak)
+      Peak = R->Runtime.PeakPendingEvents;
+  }
+  std::printf("{\"event_health\":{\"runs\":%llu,\"events_dropped\":%llu,"
+              "\"peak_event_queue_occupancy\":%llu}}\n",
+              static_cast<unsigned long long>(Runs),
+              static_cast<unsigned long long>(Dropped),
+              static_cast<unsigned long long>(Peak));
+}
+
 /// Prints a standard figure header.
 inline void printHeader(const char *Figure, const char *What,
                         const char *PaperSays) {

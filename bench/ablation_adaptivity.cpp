@@ -137,5 +137,8 @@ int main() {
   std::printf("shape check: with clearing enabled, phase changes are "
               "detected and matured\nloads get re-optimized; performance "
               "should be at least as good as without.\n");
+  auto All = Results;
+  All.insert(All.end(), PhaseResults.begin(), PhaseResults.end());
+  printEventHealthJson(All);
   return 0;
 }

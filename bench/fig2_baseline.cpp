@@ -57,5 +57,6 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("shape check: both prefetching configurations should beat "
               "no-pf on average,\nwith 8x8 >= 4x4.\n");
+  printEventHealthJson(Results);
   return 0;
 }

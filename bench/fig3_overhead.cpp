@@ -65,5 +65,6 @@ int main() {
   std::printf("shape check: no-link overhead well under a few percent; "
               "helper activity a few\npercent of cycles, higher with "
               "self-repairing (extra repair events).\n");
+  printEventHealthJson(Results);
   return 0;
 }

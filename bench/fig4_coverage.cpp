@@ -44,5 +44,6 @@ int main() {
   std::printf("shape check: high in-trace coverage except for the "
               "irregular benchmarks\n(dot, parser, gap's cold loop); "
               "covered <= in-trace everywhere.\n");
+  printEventHealthJson(Results);
   return 0;
 }

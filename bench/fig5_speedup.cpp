@@ -65,5 +65,6 @@ int main() {
       "shape check: self-repairing's average gain should be roughly twice\n"
       "basic's (paper: 23%% vs 11%%); whole-object >= basic (dot is the\n"
       "whole-object showcase); applu/facerec gain little from repair.\n");
+  printEventHealthJson(Results);
   return 0;
 }

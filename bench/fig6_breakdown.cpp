@@ -48,5 +48,6 @@ int main() {
   std::printf("shape check: the miss-due-to-prefetch column should be near "
               "zero everywhere\n(the adaptive prefetcher rarely pollutes), "
               "and partial hits a modest share.\n");
+  printEventHealthJson(Results);
   return 0;
 }

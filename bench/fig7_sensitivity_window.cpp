@@ -65,5 +65,6 @@ int main() {
               "(256 accesses, 3%%);\nvery small windows with tiny "
               "thresholds over-trigger, very large thresholds\nmiss "
               "delinquent loads.\n");
+  printEventHealthJson(Results);
   return 0;
 }

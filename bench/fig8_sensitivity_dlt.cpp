@@ -81,5 +81,6 @@ int main() {
   std::printf("  vs. +%s from using the same SRAM as a 1024-entry DLT "
               "(self-repairing).\n\n",
               formatPercent(geometricMean(PerSize[2]) - 1.0, 1).c_str());
+  printEventHealthJson(Results);
   return 0;
 }

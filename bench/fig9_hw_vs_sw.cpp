@@ -60,5 +60,6 @@ int main() {
   std::printf("shape check: hardware should win on the simple-stride and "
               "low-coverage\nbenchmarks (swim, equake, dot); the "
               "combination should dominate both.\n");
+  printEventHealthJson(Results);
   return 0;
 }

@@ -57,8 +57,10 @@ int main() {
   Core.setBranchPredictor(&Predictor);
 
   RuntimeConfig RC = RuntimeConfig::baseline();
+  EventBus Bus;
   TridentRuntime Runtime(RC, Prog, Core, CC);
-  Core.setListener(&Runtime);
+  Runtime.attach(Bus);
+  Core.setEventBus(&Bus);
   Runtime.setEnabled(true);
 
   Core.startContext(0, Prog.entryPC());

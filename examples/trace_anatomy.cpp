@@ -64,8 +64,10 @@ int main() {
   SmtCore Core(CoreConfig::baseline(), Image, Data, Mem);
   MetaPredictor Predictor;
   Core.setBranchPredictor(&Predictor);
+  EventBus Bus;
   TridentRuntime Runtime(RuntimeConfig::baseline(), Prog, Core, CC);
-  Core.setListener(&Runtime);
+  Runtime.attach(Bus);
+  Core.setEventBus(&Bus);
   Runtime.setEnabled(true);
   Core.startContext(0, Prog.entryPC());
 

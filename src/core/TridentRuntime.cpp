@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TridentRuntime.h"
+#include "events/StatRegistry.h"
 #include "support/Check.h"
 
 #include <algorithm>
@@ -43,6 +44,36 @@ const char *trident::prefetchModeName(PrefetchMode M) {
   return "<bad>";
 }
 
+void RuntimeStats::registerInto(StatRegistry &R,
+                                const std::string &Prefix) const {
+  R.setCounter(Prefix + "hot_trace_events", HotTraceEvents);
+  R.setCounter(Prefix + "traces_installed", TracesInstalled);
+  R.setCounter(Prefix + "trace_reinstalls", TraceReinstalls);
+  R.setCounter(Prefix + "delinquent_events", DelinquentEvents);
+  R.setCounter(Prefix + "insertion_optimizations", InsertionOptimizations);
+  R.setCounter(Prefix + "repair_optimizations", RepairOptimizations);
+  R.setCounter(Prefix + "loads_matured", LoadsMatured);
+  R.setCounter(Prefix + "events_dropped", EventsDropped);
+  R.setCounter(Prefix + "peak_pending_events", PeakPendingEvents);
+  R.setCounter(Prefix + "prefetch_instructions_planned",
+               PrefetchInstructionsPlanned);
+  R.setCounter(Prefix + "load_misses_total", LoadMissesTotal);
+  R.setCounter(Prefix + "load_misses_in_traces", LoadMissesInTraces);
+  R.setCounter(Prefix + "load_misses_covered", LoadMissesCovered);
+  R.setCounter(Prefix + "ld_total", LdTotal);
+  R.setCounter(Prefix + "ld_hit_none", LdHitNone);
+  R.setCounter(Prefix + "ld_hit_prefetched", LdHitPrefetched);
+  R.setCounter(Prefix + "ld_partial", LdPartial);
+  R.setCounter(Prefix + "ld_miss", LdMiss);
+  R.setCounter(Prefix + "ld_miss_due_to_pf", LdMissDueToPf);
+  R.setCounter(Prefix + "commits_total", CommitsTotal);
+  R.setCounter(Prefix + "commits_in_traces", CommitsInTraces);
+  R.setCounter(Prefix + "phase_changes_detected", PhaseChangesDetected);
+  R.setCounter(Prefix + "mature_flags_cleared", MatureFlagsCleared);
+  R.setReal(Prefix + "trace_miss_coverage", traceMissCoverage());
+  R.setReal(Prefix + "prefetch_miss_coverage", prefetchMissCoverage());
+}
+
 TridentRuntime::TridentRuntime(const RuntimeConfig &Cfg, Program &P,
                                SmtCore &CoreRef, CodeCache &CCRef)
     : Config(Cfg), Prog(P), Core(CoreRef), CC(CCRef), Patcher(P),
@@ -52,7 +83,8 @@ TridentRuntime::TridentRuntime(const RuntimeConfig &Cfg, Program &P,
           /*LineSize=*/64, /*ScratchReg=*/reg::FirstScratch,
           /*DistanceCap=*/Config.DistanceCap,
           /*WholeObject=*/Config.Mode == PrefetchMode::WholeObject ||
-              Config.Mode == PrefetchMode::SelfRepairing}) {
+              Config.Mode == PrefetchMode::SelfRepairing}),
+      Queue(Config.MaxPendingEvents) {
   // Initialize the Section 3.1 registration structure: the record the
   // hardware uses to spawn the helper thread onto the spare context.
   Registration.HelperStartPC = 0xF000'0000; // runtime-optimizer entry
@@ -149,10 +181,23 @@ void TridentRuntime::onPhaseChange() {
   }
 }
 
-void TridentRuntime::onCommit(unsigned Ctx, Addr PC, const Instruction &I,
-                              Cycle Now) {
-  if (Ctx != 0)
+void TridentRuntime::attach(EventBus &B) {
+  TRIDENT_CHECK(Bus == nullptr, "runtime already attached to a bus");
+  Bus = &B;
+  // Commit subscriber order is load-bearing: the watch table's excursion
+  // tracking ran before profiler training inside the old monolithic
+  // listener, and per-kind dispatch order equals subscription order.
+  B.subscribe(&WatchSub, eventMaskOf(EventKind::Commit));
+  B.subscribe(&ProfilerSub,
+              eventMaskOf(EventKind::Commit) | eventMaskOf(EventKind::Branch));
+  B.subscribe(&DltSub, eventMaskOf(EventKind::LoadOutcome));
+}
+
+void TridentRuntime::handleWatchCommit(const HardwareEvent &Ev) {
+  if (Ev.Ctx != 0)
     return;
+  const Addr PC = Ev.PC;
+  const Cycle Now = Ev.Time;
   ++Stats.CommitsTotal;
   if (Config.ClearMatureOnPhaseChange && Enabled)
     accountPhase(PC);
@@ -163,6 +208,10 @@ void TridentRuntime::onCommit(unsigned Ctx, Addr PC, const Instruction &I,
     uint32_t Tid = CC.traceIdAt(PC);
     const TraceMeta &M = Traces[Tid];
     if (CurTraceId != Tid || CurHeadAddr != M.CacheAddr) {
+      if (CurTraceId != ~0u)
+        Bus->publish(
+            HardwareEvent::traceMark(EventKind::TraceExit, CurTraceId, PC, Now));
+      Bus->publish(HardwareEvent::traceMark(EventKind::TraceEntry, Tid, PC, Now));
       CurTraceId = Tid;
       CurHeadAddr = M.CacheAddr;
       LastHeadValid = false;
@@ -179,39 +228,47 @@ void TridentRuntime::onCommit(unsigned Ctx, Addr PC, const Instruction &I,
   // The patched entry jump at a trace's original start PC is part of the
   // trace's loop (closing jump -> OrigStart -> entry jump -> trace head);
   // it must not end the excursion or iteration timing never accumulates.
+  const Instruction &I = *Ev.Insn;
   bool IsEntryGlue = I.Op == Opcode::Jump && I.Synthetic &&
                      CC.contains(static_cast<Addr>(I.Imm));
   if (!IsEntryGlue) {
     // Genuine original-code commit: ends any trace excursion.
+    if (CurTraceId != ~0u)
+      Bus->publish(
+          HardwareEvent::traceMark(EventKind::TraceExit, CurTraceId, PC, Now));
     CurTraceId = ~0u;
     LastHeadValid = false;
   }
-  if (!Enabled)
+}
+
+void TridentRuntime::handleProfilerCommit(const HardwareEvent &Ev) {
+  if (Ev.Ctx != 0 || !Enabled)
     return;
-  if (std::optional<HotTraceCandidate> Cand = Profiler.onCommit(PC)) {
+  if (CC.contains(Ev.PC))
+    return; // Trace-internal commits never train the profiler.
+  if (std::optional<HotTraceCandidate> Cand = Profiler.onCommit(Ev.PC)) {
     ++Stats.HotTraceEvents;
-    Event E;
-    E.K = Event::Kind::HotTrace;
-    E.Cand = *Cand;
-    raiseEvent(std::move(E));
+    raiseEvent(HardwareEvent::hotTrace(*Cand, Ev.Time));
   }
 }
 
-void TridentRuntime::onBranch(unsigned Ctx, Addr PC, const Instruction &I,
-                              bool Taken, Addr Target, Cycle Now) {
-  if (Ctx != 0 || !Enabled)
+void TridentRuntime::handleProfilerBranch(const HardwareEvent &Ev) {
+  if (Ev.Ctx != 0 || !Enabled)
     return;
-  if (CC.contains(PC))
+  if (CC.contains(Ev.PC))
     return; // Trace-internal control flow never trains the profiler.
-  if (CC.contains(Target))
+  if (CC.contains(Ev.EA))
     return; // Entry jumps into the code cache are runtime glue.
-  Profiler.onBranch(PC, I.isConditionalBranch(), Taken, Target);
+  Profiler.onBranch(Ev.PC, Ev.Insn->isConditionalBranch(), Ev.Taken, Ev.EA);
 }
 
-void TridentRuntime::onLoad(unsigned Ctx, Addr PC, const Instruction &I,
-                            Addr EA, const AccessResult &R, Cycle Now) {
-  if (Ctx != 0 || I.Synthetic)
+void TridentRuntime::handleLoad(const HardwareEvent &Ev) {
+  if (Ev.Ctx != 0 || Ev.Insn->Synthetic)
     return;
+  const Addr PC = Ev.PC;
+  const Addr EA = Ev.EA;
+  const AccessResult &R = *Ev.Access;
+  const Cycle Now = Ev.Time;
 
   bool InTrace = CC.contains(PC);
   bool Miss = R.Outcome != LoadOutcome::HitNone &&
@@ -270,11 +327,7 @@ void TridentRuntime::onLoad(unsigned Ctx, Addr PC, const Instruction &I,
     }
     if (W)
       W->OptInProgress = true;
-    Event E;
-    E.K = Event::Kind::Delinquent;
-    E.LoadPC = PC;
-    E.TraceId = Tid;
-    raiseEvent(std::move(E));
+    raiseEvent(HardwareEvent::delinquentLoad(PC, Tid, Now));
   }
 }
 
@@ -282,16 +335,20 @@ void TridentRuntime::onLoad(unsigned Ctx, Addr PC, const Instruction &I,
 // Event dispatch / helper-thread scheduling
 //===----------------------------------------------------------------------===//
 
-void TridentRuntime::raiseEvent(Event E) {
-  if (Pending.size() >= Config.MaxPendingEvents) {
+void TridentRuntime::raiseEvent(const HardwareEvent &E) {
+  // Observability fan-out first: the bus sees every raised event, dropped
+  // or not (the queue models the hardware buffer, the bus models wires).
+  Bus->publish(E);
+  if (!Queue.tryPush(E)) {
     ++Stats.EventsDropped;
-    if (E.K == Event::Kind::Delinquent) {
-      Dlt.clearWindow(E.LoadPC);
+    if (E.Kind == EventKind::DelinquentLoad) {
+      Dlt.clearWindow(E.PC);
       clearOptFlag(E.TraceId);
     }
     return;
   }
-  Pending.push_back(std::move(E));
+  Stats.PeakPendingEvents =
+      std::max<uint64_t>(Stats.PeakPendingEvents, Queue.size());
   dispatchNext();
 }
 
@@ -299,16 +356,15 @@ void TridentRuntime::dispatchNext() {
   if (Core.stubActive(Config.HelperCtx))
     return;
   Registration.HelperActive = false;
-  while (!Pending.empty()) {
-    Event E = std::move(Pending.front());
-    Pending.pop_front();
-    if (E.K == Event::Kind::HotTrace) {
+  while (!Queue.empty()) {
+    HardwareEvent E = Queue.pop();
+    if (E.Kind == EventKind::HotTrace) {
       if (Watch.findByOrigStart(E.Cand.StartPC))
         continue; // Already traced.
       startHotTraceWork(E.Cand);
       return;
     }
-    startDelinquentWork(E.LoadPC, E.TraceId);
+    startDelinquentWork(E.PC, E.TraceId);
     return;
   }
 }

@@ -8,7 +8,8 @@
 /// The Trident runtime extended with the self-repairing prefetcher — the
 /// orchestrator of the whole paper:
 ///
-///  * observes the commit stream of the main thread (CoreListener),
+///  * observes the commit stream of the main thread (its monitors are
+///    independent EventBus subscribers; see attach()),
 ///  * detects hot traces (branch profiler), forms and links them
 ///    (trace builder, code cache, binary patcher, watch table),
 ///  * monitors hot-trace loads in the DLT; delinquent-load events spawn
@@ -33,6 +34,8 @@
 #include "core/PrefetchPlanner.h"
 #include "cpu/SmtCore.h"
 #include "dlt/DelinquentLoadTable.h"
+#include "events/EventBus.h"
+#include "events/EventQueue.h"
 #include "trident/BranchProfiler.h"
 #include "trident/CodeCache.h"
 #include "trident/CostModel.h"
@@ -40,11 +43,13 @@
 #include "trident/TraceBuilder.h"
 #include "trident/WatchTable.h"
 
-#include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace trident {
+
+class StatRegistry;
 
 enum class PrefetchMode : uint8_t {
   None,          ///< Trident traces only, no software prefetching.
@@ -122,6 +127,8 @@ struct RuntimeStats {
   uint64_t CommitsInTraces = 0;
   uint64_t PhaseChangesDetected = 0;
   uint64_t MatureFlagsCleared = 0;
+  /// Highest event-queue occupancy observed in the measurement window.
+  uint64_t PeakPendingEvents = 0;
 
   double traceMissCoverage() const {
     return LoadMissesTotal == 0
@@ -133,9 +140,12 @@ struct RuntimeStats {
                ? 0.0
                : double(LoadMissesCovered) / double(LoadMissesTotal);
   }
+
+  /// Registers every field under \p Prefix (e.g. "trident.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
-class TridentRuntime final : public CoreListener {
+class TridentRuntime final {
 public:
   TridentRuntime(const RuntimeConfig &Config, Program &Prog, SmtCore &Core,
                  CodeCache &CC);
@@ -144,16 +154,27 @@ public:
   void setEnabled(bool E) { Enabled = E; }
   bool enabled() const { return Enabled; }
 
-  // CoreListener interface.
-  void onCommit(unsigned Ctx, Addr PC, const Instruction &I,
-                Cycle Now) override;
-  void onLoad(unsigned Ctx, Addr PC, const Instruction &I, Addr EA,
-              const AccessResult &R, Cycle Now) override;
-  void onBranch(unsigned Ctx, Addr PC, const Instruction &I, bool Taken,
-                Addr Target, Cycle Now) override;
+  /// Subscribes the runtime's hardware monitors to \p B, each as an
+  /// independent subscriber: the watch table (Commit), the branch
+  /// profiler (Commit + Branch), and the DLT (LoadOutcome). Subscription
+  /// order is load-bearing: the watch table's excursion tracking ran
+  /// before profiler training inside the old monolithic listener, and
+  /// the bus dispatches Commit subscribers in exactly this order.
+  ///
+  /// The runtime also publishes its filtered events (HotTrace,
+  /// DelinquentLoad) and the TraceEntry/TraceExit excursion markers back
+  /// into \p B for observability sinks.
+  void attach(EventBus &B);
 
   const RuntimeStats &stats() const { return Stats; }
-  void clearStats() { Stats = RuntimeStats(); }
+  void clearStats() {
+    Stats = RuntimeStats();
+    Queue.clearStats();
+  }
+
+  /// The bounded hardware queue between the monitor filters and the
+  /// helper thread (drop accounting lives here).
+  const EventQueue &eventQueue() const { return Queue; }
 
   const RuntimeConfig &config() const { return Config; }
   /// The helper-thread registration structure (Section 3.1).
@@ -187,14 +208,35 @@ private:
     bool Linked = false;
   };
 
-  struct Event {
-    enum class Kind : uint8_t { HotTrace, Delinquent } K = Kind::HotTrace;
-    HotTraceCandidate Cand;
-    Addr LoadPC = 0;
-    uint32_t TraceId = 0;
+  // Subscriber adapters: each monitor appears on the bus as its own
+  // subscriber, forwarding into the runtime that owns the shared state.
+  struct WatchSubscriber final : EventSubscriber {
+    TridentRuntime &R;
+    explicit WatchSubscriber(TridentRuntime &Rt) : R(Rt) {}
+    void onEvent(const HardwareEvent &E) override { R.handleWatchCommit(E); }
+  };
+  struct ProfilerSubscriber final : EventSubscriber {
+    TridentRuntime &R;
+    explicit ProfilerSubscriber(TridentRuntime &Rt) : R(Rt) {}
+    void onEvent(const HardwareEvent &E) override {
+      if (E.Kind == EventKind::Branch)
+        R.handleProfilerBranch(E);
+      else
+        R.handleProfilerCommit(E);
+    }
+  };
+  struct DltSubscriber final : EventSubscriber {
+    TridentRuntime &R;
+    explicit DltSubscriber(TridentRuntime &Rt) : R(Rt) {}
+    void onEvent(const HardwareEvent &E) override { R.handleLoad(E); }
   };
 
-  void raiseEvent(Event E);
+  void handleWatchCommit(const HardwareEvent &E);
+  void handleProfilerCommit(const HardwareEvent &E);
+  void handleProfilerBranch(const HardwareEvent &E);
+  void handleLoad(const HardwareEvent &E);
+
+  void raiseEvent(const HardwareEvent &E);
   void dispatchNext();
   void startHotTraceWork(const HotTraceCandidate &Cand);
   void startDelinquentWork(Addr LoadPC, uint32_t TraceId);
@@ -235,9 +277,14 @@ private:
   PrefetchPlanner Planner;
 
   std::vector<TraceMeta> Traces;
-  std::deque<Event> Pending;
+  EventQueue Queue;
   RuntimeStats Stats;
   bool Enabled = false;
+
+  EventBus *Bus = nullptr;
+  WatchSubscriber WatchSub{*this};
+  ProfilerSubscriber ProfilerSub{*this};
+  DltSubscriber DltSub{*this};
 
   // Per-main-context trace excursion tracking (iteration timing).
   uint32_t CurTraceId = ~0u;

@@ -10,13 +10,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "cpu/SmtCore.h"
+#include "events/StatRegistry.h"
 #include "support/Check.h"
 
 
 using namespace trident;
 
 CodeSpace::~CodeSpace() = default;
-CoreListener::~CoreListener() = default;
+
+void ContextStats::registerInto(StatRegistry &R,
+                                const std::string &Prefix) const {
+  R.setCounter(Prefix + "committed_original", CommittedOriginal);
+  R.setCounter(Prefix + "issued_total", IssuedTotal);
+  R.setCounter(Prefix + "branches_executed", BranchesExecuted);
+  R.setCounter(Prefix + "branch_mispredicts", BranchMispredicts);
+  R.setCounter(Prefix + "stub_instructions", StubInstructions);
+}
 
 SmtCore::SmtCore(const CoreConfig &Cfg, CodeSpace &CodeSp, DataMemory &DataMem,
                  MemorySystem &MemSys)
@@ -65,7 +74,8 @@ void SmtCore::startStub(unsigned Ctx, uint64_t Instructions,
     // Degenerate: completes at the current cycle.
     C.StubMode = false;
     if (C.StubDone)
-      PendingStubDone.push_back(std::move(C.StubDone));
+      PendingStubDone.push_back(
+          {static_cast<uint8_t>(Ctx), std::move(C.StubDone)});
   }
 }
 
@@ -185,8 +195,8 @@ Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
     AccessResult R = Mem.access(PC, EA, Kind, EffNow);
     Done = R.ReadyCycle;
     writeReg(C, I.Rd, V, Done);
-    if (Listener && !I.Synthetic)
-      Listener->onLoad(CtxIdx, PC, I, EA, R, EffNow);
+    if ((PubMask & eventMaskOf(EventKind::LoadOutcome)) && !I.Synthetic)
+      Bus->publish(HardwareEvent::loadOutcome(CtxIdx, PC, I, EA, R, EffNow));
     break;
   }
   case Opcode::Store: {
@@ -239,15 +249,16 @@ Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
     }
     if (Taken)
       NextPC = static_cast<Addr>(I.Imm);
-    if (Listener)
-      Listener->onBranch(CtxIdx, PC, I, Taken, NextPC, Now);
+    if (PubMask & eventMaskOf(EventKind::Branch))
+      Bus->publish(HardwareEvent::branch(CtxIdx, PC, I, Taken, NextPC, Now));
     break;
   }
   case Opcode::Jump:
     NextPC = static_cast<Addr>(I.Imm);
     ++C.Stats.BranchesExecuted;
-    if (Listener)
-      Listener->onBranch(CtxIdx, PC, I, /*Taken=*/true, NextPC, Now);
+    if (PubMask & eventMaskOf(EventKind::Branch))
+      Bus->publish(
+          HardwareEvent::branch(CtxIdx, PC, I, /*Taken=*/true, NextPC, Now));
     break;
 
   case Opcode::NumOpcodes:
@@ -283,7 +294,8 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
       // Startup-only stub: nothing left to issue.
       C.StubMode = false;
       if (C.StubDone)
-        PendingStubDone.push_back(std::move(C.StubDone));
+        PendingStubDone.push_back(
+            {static_cast<uint8_t>(CtxIdx), std::move(C.StubDone)});
       C.StubDone = nullptr;
       return false;
     }
@@ -293,7 +305,8 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
     if (C.StubRemaining == 0) {
       C.StubMode = false;
       if (C.StubDone)
-        PendingStubDone.push_back(std::move(C.StubDone));
+        PendingStubDone.push_back(
+            {static_cast<uint8_t>(CtxIdx), std::move(C.StubDone)});
       C.StubDone = nullptr;
     }
     return true;
@@ -372,14 +385,18 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
   ++C.Stats.IssuedTotal;
   if (!I.Synthetic)
     C.Stats.CommittedOriginal += 1 + I.ExtraCommits;
-  if (Listener)
-    Listener->onCommit(CtxIdx, PC, I, Now);
+  if (PubMask & eventMaskOf(EventKind::Commit))
+    Bus->publish(HardwareEvent::commit(CtxIdx, PC, I, Now));
   return true;
 }
 
 SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
   Context &Main = Ctxs[0];
   const uint64_t Goal = Main.Stats.CommittedOriginal + TargetCommits;
+
+  // Hoist the bus null-check out of the per-commit hot path: sample the
+  // subscriber mask once, so each publish site below is one bit-test.
+  PubMask = Bus ? Bus->activeMask() : 0;
 
   while (true) {
     if (Main.Stats.CommittedOriginal >= Goal)
@@ -410,10 +427,15 @@ SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
     // Fire stub completions outside the issue loop (they may patch code or
     // start new stubs).
     if (!PendingStubDone.empty()) {
-      std::vector<std::function<void(Cycle)>> Done;
+      std::vector<StubCompletion> Done;
       Done.swap(PendingStubDone);
-      for (auto &F : Done)
-        F(Now);
+      // Published unconditionally (stub completions are rare, and this
+      // keeps the publish counters independent of which sinks subscribe).
+      for (StubCompletion &SC : Done) {
+        if (Bus)
+          Bus->publish(HardwareEvent::helperDone(SC.Ctx, Now));
+        SC.Fn(Now);
+      }
       AnyStub = true; // completion cycle counts as helper activity
     }
 

@@ -26,16 +26,19 @@
 
 #include "branch/BranchPredictor.h"
 #include "cpu/CodeSpace.h"
-#include "cpu/CoreListener.h"
+#include "events/EventBus.h"
 #include "mem/DataMemory.h"
 #include "mem/MemorySystem.h"
 
 #include <array>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 namespace trident {
+
+class StatRegistry;
 
 struct CoreConfig {
   unsigned IssueWidth = 4;
@@ -60,6 +63,9 @@ struct ContextStats {
   uint64_t BranchesExecuted = 0;
   uint64_t BranchMispredicts = 0;
   uint64_t StubInstructions = 0;
+
+  /// Registers every field under \p Prefix (e.g. "cpu.ctx0.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
 class SmtCore {
@@ -72,8 +78,10 @@ public:
 
   /// Optional branch predictor; without one, branches are oracle-predicted.
   void setBranchPredictor(BranchPredictor *BP) { Predictor = BP; }
-  /// Optional commit-stream observer (the Trident runtime).
-  void setListener(CoreListener *L) { Listener = L; }
+  /// Optional event bus the core publishes its commit/load/branch stream
+  /// into. The bus's active mask is cached at run() entry, so subscribe
+  /// everything before calling run().
+  void setEventBus(EventBus *B) { Bus = B; }
 
   /// Begins executing the program context \p Ctx at \p PC.
   void startContext(unsigned Ctx, Addr PC);
@@ -154,15 +162,26 @@ private:
   DataMemory &Data;
   MemorySystem &Mem;
   BranchPredictor *Predictor = nullptr;
-  CoreListener *Listener = nullptr;
+  EventBus *Bus = nullptr;
+  /// Bus->activeMask() cached at run() entry. Every publish site in the
+  /// issue loop tests one bit of this mask — a single well-predicted
+  /// branch per potential event — instead of chasing the Bus pointer and
+  /// its subscriber lists when nobody is listening.
+  EventKindMask PubMask = 0;
 
   std::vector<Context> Ctxs;
   Cycle Now = 0;
   Cycle HelperBusy = 0;
   // Completion times of in-flight instructions (min-heap).
   std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>> Rob;
-  // Stub completions to fire after the current cycle's issue loop.
-  std::vector<std::function<void(Cycle)>> PendingStubDone;
+  // Stub completions to fire after the current cycle's issue loop; the
+  // context index rides along so the completion can publish a HelperDone
+  // event attributed to the right hardware context.
+  struct StubCompletion {
+    uint8_t Ctx;
+    std::function<void(Cycle)> Fn;
+  };
+  std::vector<StubCompletion> PendingStubDone;
 };
 
 } // namespace trident

@@ -31,9 +31,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace trident {
+
+class StatRegistry;
 
 struct DltConfig {
   unsigned NumEntries = 1024;
@@ -86,6 +89,9 @@ struct DltStats {
   uint64_t Events = 0;
   uint64_t WindowsCompleted = 0;
   uint64_t Replacements = 0;
+
+  /// Registers every field under \p Prefix (e.g. "dlt.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
 class DelinquentLoadTable {

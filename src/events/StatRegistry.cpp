@@ -1,0 +1,167 @@
+//===- StatRegistry.cpp ---------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/StatRegistry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace trident;
+
+StatRegistry::Entry &StatRegistry::upsert(const std::string &Name,
+                                          StatType T) {
+  Entry &E = Map[Name];
+  E.Name = Name;
+  E.Type = T;
+  E.U = 0;
+  E.D = 0.0;
+  E.Buckets.clear();
+  return E;
+}
+
+void StatRegistry::setCounter(const std::string &Name, uint64_t Value) {
+  upsert(Name, StatType::Counter).U = Value;
+}
+
+void StatRegistry::setReal(const std::string &Name, double Value) {
+  upsert(Name, StatType::Real).D = Value;
+}
+
+void StatRegistry::setHistogram(const std::string &Name, const Histogram &H) {
+  Entry &E = upsert(Name, StatType::Histogram);
+  // Recover the bucket width from the class invariant: bucket i covers
+  // [i*Width, (i+1)*Width). Histogram does not expose Width directly, so
+  // the registry snapshot carries counts plus the width passed here.
+  E.Buckets.resize(H.numBuckets());
+  for (size_t I = 0; I < H.numBuckets(); ++I)
+    E.Buckets[I] = H.bucketCount(I);
+  E.D = H.bucketWidth();
+}
+
+const StatRegistry::Entry *StatRegistry::find(const std::string &Name) const {
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+bool StatRegistry::has(const std::string &Name) const {
+  return Map.count(Name) != 0;
+}
+
+uint64_t StatRegistry::counter(const std::string &Name) const {
+  const Entry *E = find(Name);
+  return E && E->Type == StatType::Counter ? E->U : 0;
+}
+
+double StatRegistry::real(const std::string &Name) const {
+  const Entry *E = find(Name);
+  return E && E->Type == StatType::Real ? E->D : 0.0;
+}
+
+std::vector<const StatRegistry::Entry *> StatRegistry::sortedEntries() const {
+  std::vector<const Entry *> Out;
+  Out.reserve(Map.size());
+  for (const auto &KV : Map)
+    Out.push_back(&KV.second);
+  // Byte-wise std::string operator<: no locale, identical on every
+  // platform, so export order — and therefore export bytes — is stable.
+  std::sort(Out.begin(), Out.end(),
+            [](const Entry *A, const Entry *B) { return A->Name < B->Name; });
+  return Out;
+}
+
+namespace {
+
+/// JSON string escaping for stat names (ASCII identifiers in practice,
+/// but never emit malformed JSON even for a hostile name).
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void appendReal(std::string &Out, double V) {
+  char Buf[64];
+  // %.17g round-trips any double and formats identically wherever the C
+  // locale is in effect (the simulator never changes locale).
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string StatRegistry::toJsonl() const {
+  std::string Out;
+  Out.reserve(Map.size() * 64);
+  for (const Entry *E : sortedEntries()) {
+    Out += "{\"name\":";
+    appendJsonString(Out, E->Name);
+    switch (E->Type) {
+    case StatType::Counter: {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(E->U));
+      Out += ",\"type\":\"counter\",\"value\":";
+      Out += Buf;
+      break;
+    }
+    case StatType::Real:
+      Out += ",\"type\":\"real\",\"value\":";
+      appendReal(Out, E->D);
+      break;
+    case StatType::Histogram: {
+      Out += ",\"type\":\"histogram\",\"bucket_width\":";
+      appendReal(Out, E->D);
+      Out += ",\"buckets\":[";
+      for (size_t I = 0; I < E->Buckets.size(); ++I) {
+        if (I)
+          Out.push_back(',');
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%llu",
+                      static_cast<unsigned long long>(E->Buckets[I]));
+        Out += Buf;
+      }
+      Out.push_back(']');
+      break;
+    }
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+bool StatRegistry::writeJsonl(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string S = toJsonl();
+  size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+  bool Ok = Written == S.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}

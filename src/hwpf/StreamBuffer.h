@@ -24,6 +24,8 @@
 
 namespace trident {
 
+class StatRegistry;
+
 struct StreamBufferConfig {
   unsigned NumBuffers = 8;
   unsigned Depth = 8;
@@ -46,6 +48,9 @@ struct StreamBufferStats {
   uint64_t ProbeHits = 0;
   uint64_t ProbeMisses = 0;
   uint64_t LinesPrefetched = 0;
+
+  /// Registers every field under \p Prefix (e.g. "hwpf.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
 class StreamBufferUnit final : public HwPrefetcher {

@@ -10,12 +10,27 @@
 //===----------------------------------------------------------------------===//
 
 #include "mem/MemorySystem.h"
+#include "events/StatRegistry.h"
 #include "support/Check.h"
 
 #include <algorithm>
 #include <functional>
 
 using namespace trident;
+
+void MemStats::registerInto(StatRegistry &R, const std::string &Prefix) const {
+  R.setCounter(Prefix + "demand_loads", DemandLoads);
+  R.setCounter(Prefix + "hits_none", HitsNone);
+  R.setCounter(Prefix + "hits_prefetched", HitsPrefetched);
+  R.setCounter(Prefix + "partial_hits", PartialHits);
+  R.setCounter(Prefix + "misses", Misses);
+  R.setCounter(Prefix + "misses_due_to_prefetch", MissesDueToPrefetch);
+  R.setCounter(Prefix + "stream_buffer_hits", StreamBufferHits);
+  R.setCounter(Prefix + "software_prefetches", SoftwarePrefetches);
+  R.setCounter(Prefix + "hardware_prefetches", HardwarePrefetches);
+  R.setCounter(Prefix + "memory_fetches", MemoryFetches);
+  R.setCounter(Prefix + "total_exposed_latency", TotalExposedLatency);
+}
 
 MemoryBackend::~MemoryBackend() = default;
 HwPrefetcher::~HwPrefetcher() = default;

@@ -29,6 +29,8 @@
 
 namespace trident {
 
+class StatRegistry;
+
 /// Interface the hardware prefetcher uses to fetch lines through the L2/L3/
 /// memory path with correct timing and bus occupancy.
 class MemoryBackend {
@@ -102,6 +104,9 @@ struct MemStats {
   uint64_t demandL1Misses() const {
     return PartialHits + Misses + MissesDueToPrefetch;
   }
+
+  /// Registers every field under \p Prefix (e.g. "mem.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
 /// The full timed memory system.

@@ -5,10 +5,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "mem/Tlb.h"
+#include "events/StatRegistry.h"
 #include "support/Check.h"
 
 
 using namespace trident;
+
+void TlbStats::registerInto(StatRegistry &R, const std::string &Prefix) const {
+  R.setCounter(Prefix + "lookups", Lookups);
+  R.setCounter(Prefix + "misses", Misses);
+  R.setCounter(Prefix + "prefetches_dropped", PrefetchesDropped);
+}
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 

@@ -28,9 +28,12 @@
 #include "support/Types.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace trident {
+
+class StatRegistry;
 
 struct TlbConfig {
   bool Enable = false;
@@ -44,6 +47,9 @@ struct TlbStats {
   uint64_t Lookups = 0;
   uint64_t Misses = 0;
   uint64_t PrefetchesDropped = 0;
+
+  /// Registers every field under \p Prefix (e.g. "tlb.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
 };
 
 /// Set-associative TLB with LRU replacement. Translation itself is an

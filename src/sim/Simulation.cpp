@@ -38,7 +38,8 @@ SimConfig SimConfig::withMode(PrefetchMode Mode) {
   return C;
 }
 
-SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
+SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
+                                 EventTracer *Tracer) {
   // Build the machine.
   Program Prog = W.Prog; // private copy: Trident patches it
   DataMemory Data;
@@ -65,14 +66,23 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
   MetaPredictor Predictor;
   Core.setBranchPredictor(&Predictor);
 
+  // The event bus: the core publishes its commit/load/branch stream into
+  // it; the Trident runtime's monitors and any observability sinks
+  // subscribe. Subscribe the runtime first — monitor dispatch order is
+  // load-bearing, the tracer is passive and rides behind.
+  EventBus Bus;
+  Core.setEventBus(&Bus);
+
   std::unique_ptr<TridentRuntime> Runtime;
   if (Config.EnableTrident) {
     RuntimeConfig RC = Config.Runtime;
     RC.MemoryLatency = Config.Mem.MemoryLatency;
     RC.L1HitLatency = Config.Mem.L1.HitLatency;
     Runtime = std::make_unique<TridentRuntime>(RC, Prog, Core, CC);
-    Core.setListener(Runtime.get());
+    Runtime->attach(Bus);
   }
+  if (Tracer)
+    Bus.subscribe(Tracer, Tracer->mask());
 
   Core.startContext(0, Prog.entryPC());
 
@@ -91,6 +101,7 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
   // Measurement window.
   Core.clearStats();
   Mem.clearStats();
+  Bus.clearCounts();
   if (Runtime)
     Runtime->clearStats();
   Cycle Start = Core.now();
@@ -140,5 +151,34 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config) {
     H = (H ^ Core.getReg(0, R)) * 1099511628211ull;
   }
   Res.RegChecksum = H;
+  Res.EventsPublished = Bus.publishedCounts();
+
+  // Snapshot the whole machine into the named-statistics registry.
+  auto Reg = std::make_shared<StatRegistry>();
+  Reg->setCounter("core.instructions", Res.Instructions);
+  Reg->setCounter("core.cycles", Res.Cycles);
+  Reg->setReal("core.ipc", Res.Ipc);
+  Reg->setCounter("core.helper_busy_cycles", Res.HelperBusyCycles);
+  Reg->setCounter("core.halted", Res.Halted ? 1 : 0);
+  for (unsigned I = 0; I < Config.Core.NumContexts; ++I)
+    Core.stats(I).registerInto(*Reg,
+                               "cpu.ctx" + std::to_string(I) + ".");
+  Res.Mem.registerInto(*Reg, "mem.");
+  Res.Tlb.registerInto(*Reg, "tlb.");
+  Res.HwPf.registerInto(*Reg, "hwpf.");
+  for (unsigned K = 0; K < kNumEventKinds; ++K)
+    Reg->setCounter(std::string("events.published.") +
+                        eventKindName(static_cast<EventKind>(K)),
+                    Res.EventsPublished[K]);
+  if (Runtime) {
+    Res.Runtime.registerInto(*Reg, "trident.");
+    Res.Dlt.registerInto(*Reg, "dlt.");
+    const EventQueue &Q = Runtime->eventQueue();
+    Reg->setCounter("trident.event_queue.capacity", Q.capacity());
+    Reg->setCounter("trident.event_queue.dropped", Q.dropped());
+    Reg->setCounter("trident.event_queue.peak_occupancy", Q.peakOccupancy());
+    Reg->setHistogram("trident.event_queue.occupancy", Q.occupancyHistogram());
+  }
+  Res.Registry = std::move(Reg);
   return Res;
 }

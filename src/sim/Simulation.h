@@ -18,9 +18,12 @@
 #define TRIDENT_SIM_SIMULATION_H
 
 #include "core/TridentRuntime.h"
+#include "events/EventTracer.h"
+#include "events/StatRegistry.h"
 #include "hwpf/StreamBuffer.h"
 #include "workloads/Workloads.h"
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -68,6 +71,18 @@ struct SimResult {
   /// True when the program ran to its Halt before the instruction budget.
   bool Halted = false;
 
+  /// Per-kind event-bus publish counts over the measurement window. The
+  /// hot-path kinds (Commit, LoadOutcome, Branch) are only constructed
+  /// when something subscribed to them, so their counts reflect the
+  /// machine only when the Trident runtime (or another subscriber) was
+  /// attached; the filtered kinds are published unconditionally.
+  std::array<uint64_t, kNumEventKinds> EventsPublished{};
+
+  /// The machine's full named-statistics snapshot (cpu.*, mem.*, hwpf.*,
+  /// dlt.*, trident.*, events.*), taken at the end of the measurement
+  /// window. Shared so memoized results stay cheap to copy.
+  std::shared_ptr<const StatRegistry> Registry;
+
   double helperActiveFraction() const {
     return Cycles == 0 ? 0.0
                        : static_cast<double>(HelperBusyCycles) /
@@ -75,8 +90,12 @@ struct SimResult {
   }
 };
 
-/// Runs \p W under \p Config and returns the measured result.
-SimResult runSimulation(const Workload &W, const SimConfig &Config);
+/// Runs \p W under \p Config and returns the measured result. When
+/// \p Tracer is given it is subscribed to the machine's event bus for the
+/// whole run (warmup included); the tracer is strictly passive, so the
+/// measured result is bit-identical with and without it.
+SimResult runSimulation(const Workload &W, const SimConfig &Config,
+                        EventTracer *Tracer = nullptr);
 
 /// Convenience: speedup of \p A over baseline \p Base (IPC ratio).
 inline double speedup(const SimResult &A, const SimResult &Base) {

@@ -77,6 +77,7 @@ public:
   uint64_t total() const { return Total; }
   uint64_t bucketCount(size_t Idx) const { return Counts[Idx]; }
   size_t numBuckets() const { return Counts.size(); }
+  double bucketWidth() const { return Width; }
 
   /// Fraction of samples at or below bucket \p Idx (inclusive CDF).
   double cdfAt(size_t Idx) const;

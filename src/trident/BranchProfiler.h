@@ -19,6 +19,7 @@
 #ifndef TRIDENT_TRIDENT_BRANCHPROFILER_H
 #define TRIDENT_TRIDENT_BRANCHPROFILER_H
 
+#include "events/HardwareEvent.h"
 #include "isa/Instruction.h"
 #include "support/SaturatingCounter.h"
 
@@ -41,14 +42,8 @@ struct BranchProfilerConfig {
   unsigned MaxCaptureCommits = 4096;
 };
 
-/// A detected hot trace: start PC plus the conditional-branch direction
-/// bitmap along the hot path (bit i = direction of the i-th conditional
-/// branch after the start PC; 1 = taken).
-struct HotTraceCandidate {
-  Addr StartPC = 0;
-  uint16_t Bitmap = 0;
-  uint8_t NumBranches = 0;
-};
+// HotTraceCandidate — the payload of the profiler's hot-trace event —
+// lives in events/HardwareEvent.h with the rest of the event vocabulary.
 
 class BranchProfiler {
 public:

@@ -261,19 +261,23 @@ TEST(SmtCore, StubChainingFromCompletionCallback) {
   EXPECT_EQ(Completions, 3);
 }
 
-TEST(SmtCore, ListenerSeesCommitsLoadsBranches) {
-  struct Recorder final : CoreListener {
+TEST(SmtCore, BusSeesCommitsLoadsBranches) {
+  struct Recorder final : EventSubscriber {
     unsigned Commits = 0, Loads = 0, Branches = 0;
-    void onCommit(unsigned, Addr, const Instruction &, Cycle) override {
-      ++Commits;
-    }
-    void onLoad(unsigned, Addr, const Instruction &, Addr,
-                const AccessResult &, Cycle) override {
-      ++Loads;
-    }
-    void onBranch(unsigned, Addr, const Instruction &, bool, Addr,
-                  Cycle) override {
-      ++Branches;
+    void onEvent(const HardwareEvent &E) override {
+      switch (E.Kind) {
+      case EventKind::Commit:
+        ++Commits;
+        break;
+      case EventKind::LoadOutcome:
+        ++Loads;
+        break;
+      case EventKind::Branch:
+        ++Branches;
+        break;
+      default:
+        break;
+      }
     }
   };
   ProgramBuilder B;
@@ -285,11 +289,17 @@ TEST(SmtCore, ListenerSeesCommitsLoadsBranches) {
   B.halt();
   Machine M(B.finish());
   Recorder R;
-  M.Core->setListener(&R);
+  EventBus Bus;
+  Bus.subscribe(&R, eventMaskOf(EventKind::Commit) |
+                        eventMaskOf(EventKind::LoadOutcome) |
+                        eventMaskOf(EventKind::Branch));
+  M.Core->setEventBus(&Bus);
   M.run();
   EXPECT_EQ(R.Loads, 5u);
   EXPECT_EQ(R.Branches, 5u);
   EXPECT_EQ(R.Commits, 3u + 15u + 1u);
+  EXPECT_EQ(Bus.published(EventKind::LoadOutcome), 5u);
+  EXPECT_EQ(Bus.published(EventKind::Commit), 19u);
 }
 
 TEST(SmtCore, CycleLimitStops) {

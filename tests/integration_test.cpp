@@ -296,8 +296,10 @@ TEST(Integration, RegistrationStructureTracksHelperSpawns) {
   CodeCache CC;
   CodeImage Image(Prog, CC);
   SmtCore Core(CoreConfig::baseline(), Image, Data, Mem);
+  EventBus Bus;
   TridentRuntime Runtime(RuntimeConfig::baseline(), Prog, Core, CC);
-  Core.setListener(&Runtime);
+  Runtime.attach(Bus);
+  Core.setEventBus(&Bus);
   Runtime.setEnabled(true);
   Core.startContext(0, Prog.entryPC());
 

@@ -40,6 +40,14 @@ cannot express because they are properties of *this* codebase's contract:
                     context and honor the build-flavor matrix.
                     static_assert is fine.
 
+  R6 event-names    Every enumerator of `enum class EventKind` must have a
+                    matching `case EventKind::X:` in the file that defines
+                    the enum — the eventKindName() string table is what the
+                    trace exporter and the events.published.* stat names
+                    are built from, so an unnamed kind silently exports as
+                    "<bad>". Complements -Wswitch: the compiler catches a
+                    missing case only until someone adds a default.
+
 Usage:
   tools/trident_lint.py [--root DIR] [paths...]
 
@@ -102,6 +110,10 @@ NOT_HW_TABLE = re.compile(r"trident-lint:\s*not-a-hw-table\(")
 ASSERT_CALL = re.compile(r"(?<![\w.])assert\s*\(")
 ASSERT_INCLUDE = re.compile(r"#\s*include\s*<(cassert|assert\.h)>")
 ASSERT_ALLOWED = {"src/support/Check.h"}
+
+# R6 — EventKind enumerators need eventKindName() cases.
+EVENT_ENUM = re.compile(r"\benum\s+class\s+EventKind\b[^{]*\{")
+EVENT_ENUMERATOR = re.compile(r"^\s*(\w+)\s*(?:=[^,}]*)?\s*(?:,|$)")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -207,6 +219,29 @@ def lint_file(path: Path, rel: str, hardware_rules: bool) -> list[Finding]:
                 findings.append(Finding(
                     rel, lineno, "no-assert",
                     "<cassert> include; use support/Check.h"))
+
+    # R6: every EventKind enumerator has a name-table case in the defining
+    # file. Works on the stripped text so commented-out enumerators don't
+    # count, and line numbers point at the enum definition.
+    m = EVENT_ENUM.search(stripped)
+    if m:
+        body_start = stripped.index("{", m.start()) + 1
+        body_end = stripped.find("}", body_start)
+        body = stripped[body_start:body_end if body_end >= 0 else None]
+        enum_line = stripped.count("\n", 0, m.start()) + 1
+        for raw in body.split(","):
+            name = raw.strip()
+            if "=" in name:
+                name = name.split("=")[0].strip()
+            if not name or not name.isidentifier():
+                continue
+            if not re.search(r"\bcase\s+EventKind\s*::\s*" + name + r"\s*:",
+                             stripped):
+                findings.append(Finding(
+                    rel, enum_line, "event-names",
+                    f"EventKind::{name} has no 'case EventKind::{name}:' "
+                    "in eventKindName()'s switch; every event kind needs "
+                    "a string-table entry"))
 
     return findings
 

@@ -50,6 +50,14 @@ void usage(const char *Prog) {
       "  --window N             DLT monitoring window (default 256)\n"
       "  --miss-threshold N     DLT miss threshold (default 8)\n"
       "  --distance-cap N       max prefetch distance (default 64)\n"
+      "  --trace-out PATH       record hardware events into a ring buffer\n"
+      "                         and write Chrome trace JSON (open it in\n"
+      "                         chrome://tracing or ui.perfetto.dev)\n"
+      "  --trace-capacity N     event-ring capacity (default 65536; the\n"
+      "                         ring keeps the newest N events)\n"
+      "  --stats-out PATH       write the full stat registry as JSONL\n"
+      "                         (one {\"name\",\"type\",\"value\"} per line,\n"
+      "                         sorted by name, byte-reproducible)\n"
       "  --verbose              full statistics dump\n",
       Prog);
 }
@@ -150,6 +158,8 @@ int main(int argc, char **argv) {
        PhaseAdapt = false;
   unsigned DltEntries = 1024, Window = 256, MissThreshold = 8;
   int DistanceCap = 64;
+  std::string TraceOut, StatsOut;
+  size_t TraceCapacity = 1 << 16;
 
   auto needValue = [&](int &I) -> const char * {
     if (I + 1 >= argc) {
@@ -192,6 +202,12 @@ int main(int argc, char **argv) {
           static_cast<unsigned>(std::strtoul(needValue(I), nullptr, 10));
     else if (!std::strcmp(A, "--distance-cap"))
       DistanceCap = std::atoi(needValue(I));
+    else if (!std::strcmp(A, "--trace-out"))
+      TraceOut = needValue(I);
+    else if (!std::strcmp(A, "--trace-capacity"))
+      TraceCapacity = std::strtoull(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--stats-out"))
+      StatsOut = needValue(I);
     else if (!std::strcmp(A, "--verbose"))
       Verbose = true;
     else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
@@ -267,23 +283,56 @@ int main(int argc, char **argv) {
               WorkloadName.c_str(), Mode.c_str(), HwPf.c_str(),
               (unsigned long long)Instr, onOff(EnableTlb), onOff(!NoLink));
 
-  // Both runs (the experiment and, with --compare, its baseline) go into
-  // one batch so they execute concurrently when cores are available.
   Workload W = makeWorkload(WorkloadName);
-  std::vector<ExperimentJob> Jobs = {ExperimentJob{W, C}};
-  if (Compare) {
-    SimConfig Base = C;
-    Base.EnableTrident = false;
-    Jobs.push_back(ExperimentJob{W, Base});
+  SimResult R, RB;
+  if (!TraceOut.empty()) {
+    // Tracing runs outside the memoizing runner: the tracer observes one
+    // concrete run, never a cached result.
+    EventTracer Tracer(TraceCapacity);
+    R = runSimulation(W, C, &Tracer);
+    if (!Tracer.writeChromeTrace(TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceOut.c_str());
+      return 1;
+    }
+    std::printf("event trace: %s (%llu recorded, %llu overwritten, "
+                "ring %zu)\n\n",
+                TraceOut.c_str(), (unsigned long long)Tracer.recorded(),
+                (unsigned long long)Tracer.overwritten(), Tracer.capacity());
+    if (Compare) {
+      SimConfig Base = C;
+      Base.EnableTrident = false;
+      RB = runSimulation(W, Base);
+    }
+  } else {
+    // Both runs (the experiment and, with --compare, its baseline) go into
+    // one batch so they execute concurrently when cores are available.
+    std::vector<ExperimentJob> Jobs = {ExperimentJob{W, C}};
+    if (Compare) {
+      SimConfig Base = C;
+      Base.EnableTrident = false;
+      Jobs.push_back(ExperimentJob{W, Base});
+    }
+    ExperimentRunner Runner;
+    auto Results = Runner.runBatch(Jobs);
+    R = *Results[0];
+    if (Compare)
+      RB = *Results[1];
   }
-  ExperimentRunner Runner;
-  auto Results = Runner.runBatch(Jobs);
 
-  const SimResult &R = *Results[0];
   printStats(R, Verbose);
 
+  if (!StatsOut.empty()) {
+    if (!R.Registry || !R.Registry->writeJsonl(StatsOut)) {
+      std::fprintf(stderr, "error: cannot write stats to '%s'\n",
+                   StatsOut.c_str());
+      return 1;
+    }
+    std::printf("\nstat registry: %s (%zu entries)\n", StatsOut.c_str(),
+                R.Registry->size());
+  }
+
   if (Compare) {
-    const SimResult &RB = *Results[1];
     std::printf("\n-- comparison --\n");
     std::printf("baseline IPC     %.4f (%s)\n", RB.Ipc,
                 RB.ConfigName.c_str());
