@@ -53,6 +53,8 @@ void RuntimeStats::registerInto(StatRegistry &R,
   R.setCounter(Prefix + "insertion_optimizations", InsertionOptimizations);
   R.setCounter(Prefix + "repair_optimizations", RepairOptimizations);
   R.setCounter(Prefix + "loads_matured", LoadsMatured);
+  R.setCounter(Prefix + "repairs_reopened", RepairsReopened);
+  R.setCounter(Prefix + "regime_shifts_detected", RegimeShiftsDetected);
   R.setCounter(Prefix + "events_dropped", EventsDropped);
   R.setCounter(Prefix + "peak_pending_events", PeakPendingEvents);
   R.setCounter(Prefix + "prefetch_instructions_planned",
@@ -96,7 +98,7 @@ TridentRuntime::TridentRuntime(const RuntimeConfig &Cfg, Program &P,
 
 const PrefetchPlan *TridentRuntime::planFor(Addr OrigStart) const {
   for (const TraceMeta &M : Traces)
-    if (M.OrigStart == OrigStart)
+    if (M.OrigStart == OrigStart && !M.Invalidated)
       return &M.Plan;
   return nullptr;
 }
@@ -353,6 +355,8 @@ void TridentRuntime::raiseEvent(const HardwareEvent &E) {
 }
 
 void TridentRuntime::dispatchNext() {
+  if (Queue.stalled())
+    return; // fault-injected stall: events delay in place
   if (Core.stubActive(Config.HelperCtx))
     return;
   Registration.HelperActive = false;
@@ -476,6 +480,43 @@ void TridentRuntime::installBody(TraceMeta &M,
   }
 }
 
+unsigned TridentRuntime::invalidateAllTraces() {
+  unsigned N = 0;
+  for (TraceMeta &M : Traces) {
+    if (M.Invalidated || M.CacheAddr == 0)
+      continue;
+    // Reverse the install-time retargeting: any back edge aimed at a
+    // generation head goes back to the original loop head, so a thread
+    // inside any dead body migrates to original code at its next
+    // loop-back. Side exits already target original code and are left
+    // alone — mid-iteration control flow is untouched, so semantics are
+    // preserved.
+    auto IsGenerationHead = [&M](Addr T) {
+      for (const auto &[Start, Len] : M.Installs) {
+        (void)Len;
+        if (T == Start)
+          return true;
+      }
+      return false;
+    };
+    for (const auto &[Start, Len] : M.Installs)
+      for (size_t I = 0; I < Len; ++I) {
+        Instruction &Ins = CC.at(Start + I);
+        if (Ins.isBranch() && IsGenerationHead(static_cast<Addr>(Ins.Imm)))
+          Ins.Imm = static_cast<int64_t>(M.OrigStart);
+      }
+    if (M.Linked) {
+      Patcher.restore(M.OrigStart);
+      M.Linked = false;
+    }
+    Watch.remove(M.Id);
+    Profiler.unsuppress(M.OrigStart);
+    M.Invalidated = true;
+    ++N;
+  }
+  return N;
+}
+
 //===----------------------------------------------------------------------===//
 // Delinquent-load optimization: insertion, repair, maturing
 //===----------------------------------------------------------------------===//
@@ -526,6 +567,35 @@ void TridentRuntime::startDelinquentWork(Addr LoadPC, uint32_t TraceId) {
 
   if (G) {
     LoadRepairState *LS = G->stateFor(It->second);
+    // A settled load only re-raises a DelinquentLoad event after its DLT
+    // entry was lost (capacity or fault eviction) *and* it re-crossed the
+    // delinquency threshold: the memory behaviour its distance settled
+    // against is gone. Self-repair re-opens the load with a fresh budget;
+    // the first re-opened load of a fully settled group also re-seeds the
+    // shared distance so the hill climb restarts from the mode's seed
+    // instead of a distance tuned for the old regime (Section 3.5.2).
+    if (G->Repairable && LS && LS->Mature &&
+        Config.Mode == PrefetchMode::SelfRepairing) {
+      bool GroupSettled = true;
+      for (const LoadRepairState &Other : G->PerLoad)
+        if (!Other.Mature)
+          GroupSettled = false;
+      if (GroupSettled)
+        G->Distance = Config.SelfRepairInitialEstimate
+                          ? estimateDistance(M, LoadPC)
+                          : 1;
+      LS->Mature = false;
+      LS->RepairsLeft = 2 * G->MaxDistance;
+      LS->LastAvgAccessLatency = -1.0;
+      LS->BestAvgAccessLatency = -1.0;
+      LS->BestDistance = G->Distance;
+      LS->LastMove = +1;
+      ++Stats.RepairsReopened;
+      TRIDENT_DBG("[trident] reopen trace=%u load=0x%llx dist=%d "
+                  "(budget %d)\n",
+                  TraceId, (unsigned long long)LoadPC, G->Distance,
+                  LS->RepairsLeft);
+    }
     bool CanRepair = G->Repairable && LS && !LS->Mature &&
                      Config.Mode == PrefetchMode::SelfRepairing;
     if (CanRepair) {
@@ -689,6 +759,44 @@ void TridentRuntime::finishRepair(uint32_t TraceId, unsigned BaseIdx,
   if (std::optional<DltSnapshot> S = Dlt.lookup(LoadPC))
     CurAvg = S->avgAccessLatency();
   int OldDistance = G->Distance;
+
+  // A downward latency regime shift: the observation collapsed to under a
+  // quarter of the previous one (with an absolute floor so cache-hit-level
+  // noise cannot trigger it). The climb is deliberately biased upward, so
+  // without this it can never descend from a distance tuned for a regime
+  // that no longer exists; restart from the mode's seed with a fresh
+  // budget instead. Only the downward direction restarts: an upward jump
+  // needs a *larger* distance, which the ordinary +1 climb already
+  // delivers from the current operating point — and one successful climb
+  // step can itself halve the observation, so a looser threshold would
+  // read the climb's own progress as a shift.
+  if (LS->LastAvgAccessLatency >= 0.0 && CurAvg > 0.0 &&
+      (CurAvg + 25.0) * 4.0 < LS->LastAvgAccessLatency) {
+    ++Stats.RegimeShiftsDetected;
+    G->Distance = Config.SelfRepairInitialEstimate
+                      ? estimateDistance(M, LoadPC)
+                      : 1;
+    LS->RepairsLeft = std::max(LS->RepairsLeft, 2 * G->MaxDistance);
+    LS->LastAvgAccessLatency = -1.0;
+    LS->BestAvgAccessLatency = -1.0;
+    LS->BestDistance = G->Distance;
+    LS->LastMove = +1;
+    for (size_t PI : G->PrefetchIdxs) {
+      Addr Slot = M.PrefetchSlotAddrs[PI];
+      if (Slot != 0)
+        CC.at(Slot).Imm =
+            PrefetchPlanner::immediateFor(M.Plan.Prefetches[PI], G->Distance);
+    }
+    ++Stats.RepairOptimizations;
+    Stats.LastRepairDistance = G->Distance;
+    TRIDENT_DBG("[trident] regime shift trace=%u load=0x%llx avg=%.1f "
+                "dist %d -> %d\n",
+                TraceId, (unsigned long long)LoadPC, CurAvg, OldDistance,
+                G->Distance);
+    Dlt.clearWindow(LoadPC);
+    clearOptFlag(TraceId);
+    return;
+  }
 
   // CurAvg was observed while running at the current distance.
   if (LS->BestAvgAccessLatency < 0.0 || CurAvg < LS->BestAvgAccessLatency) {

@@ -105,6 +105,12 @@ struct RuntimeStats {
   uint64_t InsertionOptimizations = 0;
   uint64_t RepairOptimizations = 0;
   uint64_t LoadsMatured = 0;
+  /// Settled loads whose repair state was re-opened after their DLT entry
+  /// was lost and they re-crossed the delinquency threshold.
+  uint64_t RepairsReopened = 0;
+  /// Hill-climb restarts triggered by a load's observed latency jumping
+  /// far outside the band the climb was operating in.
+  uint64_t RegimeShiftsDetected = 0;
   uint64_t EventsDropped = 0;
   uint64_t PrefetchInstructionsPlanned = 0;
   /// Distance set by the most recent repair (diagnostic).
@@ -190,7 +196,20 @@ public:
   /// Current distance of the first repairable group of that trace, or 0.
   int currentDistanceFor(Addr OrigStart) const;
 
+  /// Fault-injection hook (src/faults): unlinks every installed trace —
+  /// restores the entry patches, retargets all code-cache back edges at
+  /// original code (threads inside a dead body exit at their next
+  /// loop-back), evicts the watch entries, and un-suppresses the profiler
+  /// so traces can re-form. Returns the number of traces invalidated.
+  unsigned invalidateAllTraces();
+
+  /// Re-attempts event dispatch (e.g. after a fault-injected queue stall
+  /// clears — nothing else would drain events queued during the stall).
+  void pumpEvents() { dispatchNext(); }
+
 private:
+  friend class FaultInjector; // perturbs Dlt / Watch / Queue directly
+
   struct TraceMeta {
     uint32_t Id = 0;
     Addr OrigStart = 0;
@@ -206,6 +225,9 @@ private:
     /// so stale in-flight events still resolve).
     std::unordered_map<Addr, unsigned> LoadPCToBaseIdx;
     bool Linked = false;
+    /// Unlinked by a fault injection; stays in Traces (ids are dense) but
+    /// introspection skips it and a fresh trace may form at OrigStart.
+    bool Invalidated = false;
   };
 
   // Subscriber adapters: each monitor appears on the bus as its own

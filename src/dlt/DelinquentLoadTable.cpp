@@ -233,6 +233,17 @@ uint64_t DelinquentLoadTable::clearAllMature() {
   return N;
 }
 
+uint64_t DelinquentLoadTable::invalidateAll() {
+  uint64_t N = 0;
+  for (Entry &E : Entries) {
+    if (E.Valid) {
+      E = Entry();
+      ++N;
+    }
+  }
+  return N;
+}
+
 void DelinquentLoadTable::setMature(Addr LoadPC, bool Mature) {
   Entry *E = find(LoadPC);
   if (!E)

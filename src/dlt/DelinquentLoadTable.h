@@ -131,6 +131,13 @@ public:
   /// on a detected working-set/phase change). Returns how many were set.
   uint64_t clearAllMature();
 
+  /// Invalidates every entry (fault-injection hook, src/faults): the
+  /// monitoring state a context switch or SRAM upset would destroy. Loads
+  /// re-allocate fresh entries — mature flags included — so eviction is
+  /// what forces the DLT to re-flag a previously-settled load. Returns
+  /// the number of valid entries cleared. Stats are untouched.
+  uint64_t invalidateAll();
+
   const DltConfig &config() const { return Config; }
   const DltStats &stats() const { return Stats; }
 

@@ -44,11 +44,17 @@ public:
                   /*NumBuckets=*/static_cast<unsigned>(
                       std::max<size_t>(MaxPending, 1))) {}
 
-  /// Enqueues \p E unless the queue is full. Returns false on a drop (the
-  /// event is discarded and the drop counter advances). Samples occupancy
-  /// (pre-push) either way.
+  /// Enqueues \p E unless the queue is full or a fault-injected forced
+  /// drop is pending. Returns false on a drop (the event is discarded and
+  /// the drop counter advances). Samples occupancy (pre-push) either way.
   bool tryPush(const HardwareEvent &E) {
     Occupancy.addSample(static_cast<double>(Q.size()));
+    if (ForcedDrops > 0) {
+      --ForcedDrops;
+      ++NumInjectedDrops;
+      ++NumDropped;
+      return false;
+    }
     if (Q.size() >= Max) {
       ++NumDropped;
       return false;
@@ -72,13 +78,32 @@ public:
 
   uint64_t dropped() const { return NumDropped; }
   size_t peakOccupancy() const { return Peak; }
+
+  // Fault-injection hooks (src/faults). Both default off; the zero-fault
+  // path is bit-identical to a queue without them. -----------------------
+
+  /// Forces the next \p N enqueue attempts to drop (injected backpressure,
+  /// accumulating across calls). Forced drops count in both dropped() and
+  /// injectedDrops().
+  void scheduleForcedDrops(uint64_t N) { ForcedDrops += N; }
+  uint64_t pendingForcedDrops() const { return ForcedDrops; }
+  uint64_t injectedDrops() const { return NumInjectedDrops; }
+
+  /// Stalls (or resumes) dispatch: while stalled the owner must not pop,
+  /// so events delay in place and overflow drops normally. A fault
+  /// condition, not accounting — clearStats() leaves it alone.
+  void setStalled(bool S) { Stalled = S; }
+  bool stalled() const { return Stalled; }
+
   /// Occupancy distribution, sampled at each enqueue attempt (bucket
   /// width 1, one bucket per slot plus overflow).
   const Histogram &occupancyHistogram() const { return Occupancy; }
 
   /// Resets the accounting (drop count, peak, histogram) without touching
   /// queued events — the measurement-window boundary. Peak restarts at
-  /// the current occupancy.
+  /// the current occupancy. Fault conditions (pending forced drops, the
+  /// stall flag) and fault accounting survive: injected faults span
+  /// measurement boundaries.
   void clearStats() {
     NumDropped = 0;
     Peak = Q.size();
@@ -92,6 +117,9 @@ private:
   uint64_t NumDropped = 0;
   size_t Peak = 0;
   Histogram Occupancy;
+  uint64_t ForcedDrops = 0;
+  uint64_t NumInjectedDrops = 0;
+  bool Stalled = false;
 };
 
 } // namespace trident

@@ -8,8 +8,46 @@
 #include "support/Check.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace trident;
+
+std::array<uint64_t, 3> Instruction::encode() const {
+  uint64_t Word0 = static_cast<uint64_t>(Op) |
+                   (static_cast<uint64_t>(Rd) << 8) |
+                   (static_cast<uint64_t>(Rs1) << 16) |
+                   (static_cast<uint64_t>(Rs2) << 24) |
+                   (static_cast<uint64_t>(Synthetic ? 1 : 0) << 32) |
+                   (static_cast<uint64_t>(ExtraCommits) << 40);
+  uint64_t Word1;
+  static_assert(sizeof(Word1) == sizeof(Imm));
+  std::memcpy(&Word1, &Imm, sizeof(Word1));
+  return {Word0, Word1, OrigPC};
+}
+
+Instruction Instruction::decode(const std::array<uint64_t, 3> &Words) {
+  const uint64_t Word0 = Words[0];
+  const uint64_t OpByte = Word0 & 0xff;
+  TRIDENT_CHECK(OpByte < static_cast<uint64_t>(Opcode::NumOpcodes),
+                "encoded opcode byte %llu is not an opcode",
+                (unsigned long long)OpByte);
+  const uint64_t SynByte = (Word0 >> 32) & 0xff;
+  TRIDENT_CHECK(SynByte <= 1, "encoded synthetic flag byte %llu is not 0/1",
+                (unsigned long long)SynByte);
+  TRIDENT_CHECK((Word0 >> 48) == 0,
+                "reserved bits set in encoded instruction word 0");
+  Instruction I;
+  I.Op = static_cast<Opcode>(OpByte);
+  I.Rd = static_cast<uint8_t>((Word0 >> 8) & 0xff);
+  I.Rs1 = static_cast<uint8_t>((Word0 >> 16) & 0xff);
+  I.Rs2 = static_cast<uint8_t>((Word0 >> 24) & 0xff);
+  I.Synthetic = SynByte != 0;
+  I.ExtraCommits = static_cast<uint8_t>((Word0 >> 40) & 0xff);
+  static_assert(sizeof(I.Imm) == sizeof(Words[1]));
+  std::memcpy(&I.Imm, &Words[1], sizeof(I.Imm));
+  I.OrigPC = Words[2];
+  return I;
+}
 
 std::string trident::toString(const Instruction &I) {
   char Buf[128];

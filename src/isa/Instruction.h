@@ -18,6 +18,7 @@
 
 #include "isa/Opcode.h"
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -65,6 +66,16 @@ struct Instruction {
   /// Registers read/written, as convenience accessors returning
   /// reg::NumRegs when not applicable.
   unsigned destReg() const { return writesRd() ? Rd : reg::NumRegs; }
+
+  bool operator==(const Instruction &) const = default;
+
+  /// Packed binary encoding: word 0 carries the scalar fields (opcode,
+  /// registers, flags), word 1 the immediate bits, word 2 the original
+  /// PC. decode() inverts it exactly — the property tests fuzz the
+  /// round-trip. This is the wire format a persisted code cache or trace
+  /// file would use; the simulator itself keeps instructions decoded.
+  std::array<uint64_t, 3> encode() const;
+  static Instruction decode(const std::array<uint64_t, 3> &Words);
 };
 
 /// Renders "opcode rd, rs1, rs2/imm" assembly-ish text, e.g.

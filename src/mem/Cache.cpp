@@ -109,6 +109,23 @@ void Cache::insert(Addr LineAddr, Cycle FillReady, bool Prefetched) {
   Victim->LastUse = ++UseClock;
 }
 
+uint64_t Cache::invalidateRange(Addr Lo, Addr Hi) {
+  uint64_t Evicted = 0;
+  for (SetState &S : SetArray) {
+    for (Line &L : S.Ways) {
+      if (!L.Valid)
+        continue;
+      Addr First = L.Tag * Config.LineSize;
+      Addr Last = First + Config.LineSize - 1;
+      if (First <= Hi && Last >= Lo) {
+        L.Valid = false;
+        ++Evicted;
+      }
+    }
+  }
+  return Evicted;
+}
+
 void Cache::reset() {
   for (auto &S : SetArray) {
     for (Line &L : S.Ways)

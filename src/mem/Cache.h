@@ -65,6 +65,11 @@ public:
   /// Invalidates every line (used between experiment phases).
   void reset();
 
+  /// Invalidates every valid line whose byte range overlaps [\p Lo, \p Hi]
+  /// (inclusive). Returns the number of lines evicted. Fault-injection
+  /// hook (src/faults); victim-tag pollution state is untouched.
+  uint64_t invalidateRange(Addr Lo, Addr Hi);
+
   /// Aligns \p A down to the containing line address.
   Addr lineAddr(Addr A) const { return A & ~static_cast<Addr>(Config.LineSize - 1); }
 

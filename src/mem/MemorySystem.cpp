@@ -86,9 +86,15 @@ Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
 Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
   if (Kind == AccessKind::HardwarePrefetch)
     ++Stats.HardwarePrefetches;
+  // Injected latency fault (inactive on the zero-fault path: one
+  // predictable branch, timing otherwise untouched).
+  const bool Faulted = FaultActive && LineAddr <= FaultHi &&
+                       LineAddr + Config.L1.LineSize - 1 >= FaultLo;
   // L2.
   if (auto [Line, Victim] = L2.lookup(LineAddr); Line) {
     Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L2.HitLatency);
+    if (Faulted)
+      Ready += FaultExtraL2;
     if (!isPrefetchKind(Kind))
       Line->Untouched = false;
     return Ready;
@@ -96,6 +102,8 @@ Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
   // L3.
   if (auto [Line, Victim] = L3.lookup(LineAddr); Line) {
     Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L3.HitLatency);
+    if (Faulted)
+      Ready += FaultExtraL2;
     if (!isPrefetchKind(Kind))
       Line->Untouched = false;
     bool Prefetched = isPrefetchKind(Kind);
@@ -114,6 +122,8 @@ Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
                  (unsigned long long)BusNextFree);
   BusNextFree = BusStart + Config.BusOccupancy;
   Cycle Ready = BusStart + Config.MemoryLatency;
+  if (Faulted)
+    Ready += FaultExtraMem;
   bool Prefetched = isPrefetchKind(Kind);
   L3.insert(LineAddr, Ready, Prefetched);
   L2.insert(LineAddr, Ready, Prefetched);
@@ -270,6 +280,28 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
                  (unsigned long long)ByteAddr,
                  (unsigned long long)R.ReadyCycle, (unsigned long long)Now);
   return R;
+}
+
+void MemorySystem::injectLatencyFault(Addr Lo, Addr Hi, unsigned ExtraMem,
+                                      unsigned ExtraL2) {
+  FaultActive = true;
+  FaultLo = Lo;
+  FaultHi = Hi;
+  FaultExtraMem = ExtraMem;
+  FaultExtraL2 = ExtraL2;
+}
+
+void MemorySystem::clearLatencyFault() {
+  FaultActive = false;
+  FaultLo = 0;
+  FaultHi = 0;
+  FaultExtraMem = 0;
+  FaultExtraL2 = 0;
+}
+
+uint64_t MemorySystem::evictRange(Addr Lo, Addr Hi) {
+  return L1.invalidateRange(Lo, Hi) + L2.invalidateRange(Lo, Hi) +
+         L3.invalidateRange(Lo, Hi);
 }
 
 void MemorySystem::resetCaches() {

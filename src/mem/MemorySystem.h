@@ -133,6 +133,21 @@ public:
   /// Invalidates all cache state (not the stats).
   void resetCaches();
 
+  // Fault-injection hooks (src/faults). Guarded by one flag so the
+  // zero-fault timing path is bit-identical to a system without them. ----
+
+  /// Adds \p ExtraMem cycles to memory fetches and \p ExtraL2 cycles to
+  /// L2/L3 hits for line addresses overlapping [\p Lo, \p Hi] (inclusive
+  /// byte range). A second call replaces the active fault.
+  void injectLatencyFault(Addr Lo, Addr Hi, unsigned ExtraMem,
+                          unsigned ExtraL2);
+  void clearLatencyFault();
+  bool latencyFaultActive() const { return FaultActive; }
+
+  /// Invalidates every line overlapping [\p Lo, \p Hi] in all three
+  /// levels; returns the number of lines evicted.
+  uint64_t evictRange(Addr Lo, Addr Hi);
+
   Cache &l1() { return L1; }
   Cache &l2() { return L2; }
   Cache &l3() { return L3; }
@@ -150,6 +165,14 @@ private:
   std::unique_ptr<Tlb> Dtlb;
   std::unique_ptr<HwPrefetcher> Pf;
   MemStats Stats;
+
+  /// Injected latency fault (see injectLatencyFault); inactive by default
+  /// so the hot path pays one predictable-not-taken branch.
+  bool FaultActive = false;
+  Addr FaultLo = 0;
+  Addr FaultHi = 0;
+  unsigned FaultExtraMem = 0;
+  unsigned FaultExtraL2 = 0;
 
   /// Cycle the memory bus frees up.
   Cycle BusNextFree = 0;

@@ -121,6 +121,23 @@ void addRuntimeConfig(Fnv1a &F, const RuntimeConfig &C) {
   F.add(C.PhaseChangeThreshold);
 }
 
+void addFaultPlan(Fnv1a &F, const FaultPlan &P) {
+  F.add(P.Seed);
+  F.add(static_cast<uint64_t>(P.Actions.size()));
+  for (const FaultAction &A : P.Actions) {
+    F.add(static_cast<uint64_t>(A.Trigger));
+    F.add(A.At);
+    F.add(static_cast<uint64_t>(A.Counted));
+    F.add(static_cast<uint64_t>(A.Kind));
+    F.add(A.RangeLo);
+    F.add(A.RangeHi);
+    F.add(A.ExtraMemLatency);
+    F.add(A.ExtraL2Latency);
+    F.add(A.DurationCycles);
+    F.add(A.Count);
+  }
+}
+
 } // namespace
 
 // NOTE: enumerate every SimConfig field (transitively) here. A field
@@ -135,6 +152,7 @@ uint64_t trident::configFingerprint(const SimConfig &C) {
   addRuntimeConfig(F, C.Runtime);
   F.add(C.WarmupInstructions);
   F.add(C.SimInstructions);
+  addFaultPlan(F, C.Faults);
   return F.hash();
 }
 

@@ -81,6 +81,18 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     Runtime = std::make_unique<TridentRuntime>(RC, Prog, Core, CC);
     Runtime->attach(Bus);
   }
+  // Fault injection: constructed only for a non-empty plan, so fault-free
+  // runs build exactly the pre-fault-injection machine. Subscribed after
+  // the runtime's monitors (the injector perturbs state between events,
+  // never inside the monitors' view of one) and before the tracer.
+  std::unique_ptr<FaultInjector> Injector;
+  if (!Config.Faults.empty()) {
+    FaultTargets Targets;
+    Targets.Mem = &Mem;
+    Targets.Runtime = Runtime.get();
+    Injector = std::make_unique<FaultInjector>(Config.Faults, Targets);
+    Injector->attach(Bus);
+  }
   if (Tracer)
     Bus.subscribe(Tracer, Tracer->mask());
 
@@ -142,6 +154,8 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     Res.Tlb = T->stats();
   Res.HelperBusyCycles = Core.helperBusyCycles();
   Res.BranchMispredicts = Core.stats(0).BranchMispredicts;
+  if (Injector)
+    Res.Faults = Injector->stats();
   Res.Halted = Stop == SmtCore::StopReason::Halted;
   uint64_t H = 1469598103934665603ull;
   for (unsigned R = 0; R < reg::NumRegs; ++R) {
@@ -179,6 +193,11 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     Reg->setCounter("trident.event_queue.peak_occupancy", Q.peakOccupancy());
     Reg->setHistogram("trident.event_queue.occupancy", Q.occupancyHistogram());
   }
+  // "faults." lines appear only when something actually fired: a plan
+  // that never triggers exports byte-identically to a fault-free run
+  // (the disabled-injector identity contract).
+  if (Injector && Res.Faults.Injected > 0)
+    Res.Faults.registerInto(*Reg, "faults.");
   Res.Registry = std::move(Reg);
   return Res;
 }

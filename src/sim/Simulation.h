@@ -20,6 +20,7 @@
 #include "core/TridentRuntime.h"
 #include "events/EventTracer.h"
 #include "events/StatRegistry.h"
+#include "faults/FaultInjector.h"
 #include "hwpf/StreamBuffer.h"
 #include "workloads/Workloads.h"
 
@@ -45,6 +46,10 @@ struct SimConfig {
   uint64_t WarmupInstructions = 200'000;
   /// Measured committed original instructions.
   uint64_t SimInstructions = 2'000'000;
+  /// Fault-injection schedule (empty = no injector is constructed and the
+  /// run is bit-identical to a pre-fault-injection build). Trigger cycles
+  /// are absolute, warmup included.
+  FaultPlan Faults;
 
   /// The paper's baseline: 8x8 stream buffers, no software prefetching.
   static SimConfig hwBaseline();
@@ -65,6 +70,8 @@ struct SimResult {
   StreamBufferStats HwPf;
   Cycle HelperBusyCycles = 0;
   uint64_t BranchMispredicts = 0;
+  /// Fault-injection accounting (all zero when no plan was configured).
+  FaultStats Faults;
   /// FNV-style hash of the main context's final register file — used by
   /// tests to check that dynamic optimization never changes semantics.
   uint64_t RegChecksum = 0;

@@ -98,6 +98,17 @@ void WatchTable::recordIteration(uint32_t TraceId, Cycle IterTime) {
                  (unsigned long long)E->IterCount);
 }
 
+unsigned WatchTable::invalidateAll() {
+  unsigned N = 0;
+  for (WatchEntry &E : Entries) {
+    if (E.Valid) {
+      E.Valid = false;
+      ++N;
+    }
+  }
+  return N;
+}
+
 unsigned WatchTable::size() const {
   unsigned N = 0;
   for (const WatchEntry &E : Entries)

@@ -74,6 +74,12 @@ public:
   unsigned size() const;
   unsigned capacity() const { return static_cast<unsigned>(Entries.size()); }
 
+  /// Invalidates every entry (fault-injection hook, src/faults). The
+  /// runtime tolerates missing watch entries everywhere — timing simply
+  /// re-accumulates — so eviction models an SRAM upset safely. Returns
+  /// the number of valid entries cleared.
+  unsigned invalidateAll();
+
   /// Total SRAM bits this structure would occupy (the Section 5.4
   /// "spend it on a bigger L1 instead" comparison).
   static uint64_t estimatedBits(unsigned NumEntries);

@@ -11,9 +11,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dlt/DelinquentLoadTable.h"
 #include "isa/ProgramBuilder.h"
+#include "mem/Cache.h"
 #include "sim/Simulation.h"
 #include "support/Random.h"
+#include "trident/WatchTable.h"
 
 #include <gtest/gtest.h>
 
@@ -319,3 +322,121 @@ INSTANTIATE_TEST_SUITE_P(
       Name += std::to_string(I.param.MissThreshold);
       return Name;
     });
+
+//===----------------------------------------------------------------------===//
+// Property 5: Instruction encode/decode is an exact round trip.
+//===----------------------------------------------------------------------===//
+
+class EncodeDecodeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodeDecodeRoundTrip, RandomInstructionsSurviveExactly) {
+  SplitMix64 Rng(GetParam());
+  for (int I = 0; I < 20'000; ++I) {
+    Instruction In;
+    In.Op = static_cast<Opcode>(
+        Rng.nextBelow(static_cast<uint64_t>(Opcode::NumOpcodes)));
+    In.Rd = static_cast<uint8_t>(Rng.next());
+    In.Rs1 = static_cast<uint8_t>(Rng.next());
+    In.Rs2 = static_cast<uint8_t>(Rng.next());
+    In.Imm = static_cast<int64_t>(Rng.next());
+    In.Synthetic = Rng.nextBelow(2) != 0;
+    In.ExtraCommits = static_cast<uint8_t>(Rng.next());
+    In.OrigPC = Rng.next();
+    ASSERT_EQ(Instruction::decode(In.encode()), In);
+  }
+}
+
+TEST_P(EncodeDecodeRoundTrip, BuilderProgramsSurviveExactly) {
+  // Realistic encodings: every instruction a random builder program emits
+  // (resolved branch targets, signed displacements, halts) round-trips.
+  Program P = randomLoopProgram(GetParam() * 77 + 5, /*TripCount=*/50);
+  for (Addr PC = P.basePC(); PC < P.endPC(); ++PC) {
+    const Instruction &In = P.at(PC);
+    ASSERT_EQ(Instruction::decode(In.encode()), In)
+        << "at PC 0x" << std::hex << PC;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeRoundTrip,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+//===----------------------------------------------------------------------===//
+// Property 6: bounded tables stay bounded under random churn, and the
+// fault-injection eviction hooks empty exactly what they claim to.
+//===----------------------------------------------------------------------===//
+
+class TableEviction : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableEviction, WatchTableOccupancyBoundedAndInvalidateAllEmpties) {
+  WatchTable T(16);
+  SplitMix64 Rng(GetParam());
+  for (int I = 0; I < 2'000; ++I) {
+    uint32_t Id = static_cast<uint32_t>(Rng.nextBelow(500));
+    T.insert(Id, 0x1000 + Id, 0x9000 + Id, 8);
+    ASSERT_LE(T.size(), T.capacity());
+    if (Rng.nextBelow(8) == 0)
+      T.remove(static_cast<uint32_t>(Rng.nextBelow(500)));
+    if (Rng.nextBelow(4) == 0)
+      T.recordIteration(Id, 10 + Rng.nextBelow(100));
+  }
+  unsigned Occupied = T.size();
+  EXPECT_GT(Occupied, 0u);
+  EXPECT_EQ(T.invalidateAll(), Occupied);
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_EQ(T.invalidateAll(), 0u);
+}
+
+TEST_P(TableEviction, DltOccupancyBoundedAndInvalidateAllEmpties) {
+  DltConfig C;
+  C.NumEntries = 64;
+  C.Assoc = 2;
+  DelinquentLoadTable T(C);
+  SplitMix64 Rng(GetParam());
+  for (int I = 0; I < 5'000; ++I)
+    T.update(/*LoadPC=*/Rng.nextBelow(1 << 14),
+             /*EffectiveAddr=*/Rng.next() & ~static_cast<Addr>(7),
+             /*Miss=*/Rng.nextBelow(2) != 0,
+             /*Latency=*/static_cast<unsigned>(Rng.nextBelow(400)));
+  uint64_t Valid = T.invalidateAll();
+  EXPECT_GT(Valid, 0u);
+  EXPECT_LE(Valid, C.NumEntries); // set-associative eviction kept it bounded
+  EXPECT_EQ(T.invalidateAll(), 0u);
+}
+
+TEST_P(TableEviction, CacheInvalidateRangeEvictsExactlyTheRange) {
+  CacheConfig CC;
+  CC.SizeBytes = 8 * 1024;
+  CC.Assoc = 4;
+  CC.LineSize = 64;
+  Cache C(CC);
+  SplitMix64 Rng(GetParam());
+  constexpr Addr Span = 1 << 20;
+  for (int I = 0; I < 600; ++I)
+    C.insert(C.lineAddr(Rng.nextBelow(Span)), /*FillReady=*/0,
+             /*Prefetched=*/Rng.nextBelow(4) == 0);
+
+  constexpr Addr Lo = 0x4'0000, Hi = 0x7'FFFF;
+  auto countPresent = [&](Addr From, Addr To) {
+    uint64_t N = 0;
+    for (Addr A = 0; A < Span; A += CC.LineSize)
+      if (A + CC.LineSize - 1 >= From && A <= To && C.peek(A))
+        ++N;
+    return N;
+  };
+  uint64_t InRange = countPresent(Lo, Hi);
+  uint64_t Outside = countPresent(0, Lo - 1) + countPresent(Hi + 1, Span - 1);
+  EXPECT_GT(InRange, 0u);
+
+  EXPECT_EQ(C.invalidateRange(Lo, Hi), InRange);
+  EXPECT_EQ(countPresent(Lo, Hi), 0u); // the range is gone...
+  EXPECT_EQ(countPresent(0, Lo - 1) + countPresent(Hi + 1, Span - 1),
+            Outside); // ...and nothing else was touched
+  EXPECT_EQ(C.invalidateRange(Lo, Hi), 0u);
+
+  uint64_t Rest = C.invalidateRange(0, ~static_cast<Addr>(0));
+  EXPECT_EQ(Rest, Outside);
+  EXPECT_EQ(C.invalidateRange(0, ~static_cast<Addr>(0)), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableEviction,
+                         ::testing::Values(21, 22, 23, 24, 25));

@@ -23,6 +23,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 using namespace trident;
@@ -58,6 +61,9 @@ void usage(const char *Prog) {
       "  --stats-out PATH       write the full stat registry as JSONL\n"
       "                         (one {\"name\",\"type\",\"value\"} per line,\n"
       "                         sorted by name, byte-reproducible)\n"
+      "  --faults PATH          inject faults from a JSON fault plan (see\n"
+      "                         DESIGN.md section 11 for the schema); the\n"
+      "                         run stays deterministic for a fixed plan\n"
       "  --verbose              full statistics dump\n",
       Prog);
 }
@@ -104,6 +110,24 @@ void printStats(const SimResult &R, bool Verbose) {
                 (unsigned long long)R.Tlb.Lookups,
                 (unsigned long long)R.Tlb.Misses,
                 (unsigned long long)R.Tlb.PrefetchesDropped);
+
+  if (R.Faults.Injected > 0) {
+    std::printf("\n-- fault injection --\n");
+    std::printf("faults injected  %llu (%llu reverted, %llu skipped)\n",
+                (unsigned long long)R.Faults.Injected,
+                (unsigned long long)R.Faults.Reverts,
+                (unsigned long long)R.Faults.Skipped);
+    std::printf("evicted          %llu cache lines, %llu dlt, %llu watch\n",
+                (unsigned long long)R.Faults.CacheLinesEvicted,
+                (unsigned long long)R.Faults.DltEntriesEvicted,
+                (unsigned long long)R.Faults.WatchEntriesEvicted);
+    std::printf("re-detection     %llu faults, %llu cycles total\n",
+                (unsigned long long)R.Faults.DetectionEvents,
+                (unsigned long long)R.Faults.DetectionCyclesTotal);
+    std::printf("re-convergence   %llu faults, %llu cycles total\n",
+                (unsigned long long)R.Faults.ReconvergenceEvents,
+                (unsigned long long)R.Faults.ReconvergenceCyclesTotal);
+  }
 
   const RuntimeStats &S = R.Runtime;
   if (S.CommitsTotal == 0)
@@ -158,7 +182,7 @@ int main(int argc, char **argv) {
        PhaseAdapt = false;
   unsigned DltEntries = 1024, Window = 256, MissThreshold = 8;
   int DistanceCap = 64;
-  std::string TraceOut, StatsOut;
+  std::string TraceOut, StatsOut, FaultsPath;
   size_t TraceCapacity = 1 << 16;
 
   auto needValue = [&](int &I) -> const char * {
@@ -208,6 +232,8 @@ int main(int argc, char **argv) {
       TraceCapacity = std::strtoull(needValue(I), nullptr, 10);
     else if (!std::strcmp(A, "--stats-out"))
       StatsOut = needValue(I);
+    else if (!std::strcmp(A, "--faults"))
+      FaultsPath = needValue(I);
     else if (!std::strcmp(A, "--verbose"))
       Verbose = true;
     else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
@@ -277,6 +303,25 @@ int main(int argc, char **argv) {
   C.Runtime.Dlt.MonitorWindow = Window;
   C.Runtime.Dlt.MissThreshold = MissThreshold;
   C.Runtime.DistanceCap = DistanceCap;
+
+  if (!FaultsPath.empty()) {
+    std::ifstream In(FaultsPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read fault plan '%s'\n",
+                   FaultsPath.c_str());
+      return 2;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    std::string Error;
+    std::optional<FaultPlan> Plan = FaultPlan::parseJson(Text.str(), &Error);
+    if (!Plan) {
+      std::fprintf(stderr, "error: bad fault plan '%s': %s\n",
+                   FaultsPath.c_str(), Error.c_str());
+      return 2;
+    }
+    C.Faults = std::move(*Plan);
+  }
 
   std::printf("trident_sim: %s, mode %s, hwpf %s, %llu instrs "
               "(tlb %s, link %s)\n\n",

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the golden stat snapshots in tests/golden/ from the current
+# build. Run this after an *intentional* behaviour change, then review the
+# resulting diff like any other code change before committing it.
+#
+# Usage: tools/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake --build "$BUILD_DIR" --target golden_stats_test -j
+(cd "$BUILD_DIR/tests" && TRIDENT_UPDATE_GOLDENS=1 ./golden_stats_test)
+
+echo
+echo "Golden snapshots rewritten; review before committing:"
+git -C "$REPO_ROOT" status --short -- tests/golden
