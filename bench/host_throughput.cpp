@@ -4,24 +4,30 @@
 //
 // Not a paper figure: measures how fast *the simulator itself* runs on the
 // host. Executes the full 14-workload x 4-config sweep (the shape of a
-// complete figure batch) twice — once on a single worker thread, once on
-// the full pool — with the memo cache disabled, and reports wall-clock
-// time, simulated-instructions-per-host-second, and the parallel/serial
-// speedup. Also cross-checks that the parallel results are bit-identical
-// to the serial ones (Cycles and RegChecksum per run).
+// complete figure batch) on a single worker thread and on the full pool,
+// each leg repeated TRIDENT_BENCH_REPEATS times (default 3) with the memo
+// cache disabled, and reports the per-leg median wall-clock time,
+// simulated-instructions-per-host-second, and the parallel/serial speedup.
+// Also cross-checks that every repeat of every leg is bit-identical to the
+// first serial run (Cycles and RegChecksum per job).
 //
-// Emits a machine-readable JSON line at the end so CI can track the
-// repo's performance trajectory:
+// Besides the human-readable report, writes one machine-readable JSON
+// object to $TRIDENT_BENCH_OUT (default ./BENCH_host_throughput.json) and
+// echoes it on stdout, so CI can compare against the committed scoreboard
+// with tools/bench_compare.py:
 //
-//   {"bench":"host_throughput","jobs":56,...,"speedup":3.42,...}
+//   {"bench":"host_throughput","jobs":56,...,"serial_ips":...,
+//    "serial_runs_ips":[...],"speedup":3.42,...}
 //
 // Knobs: TRIDENT_BENCH_INSTR / TRIDENT_BENCH_QUICK (per-run budget),
-// TRIDENT_BENCH_JOBS (pool size for the parallel leg).
+// TRIDENT_BENCH_JOBS (pool size for the parallel leg),
+// TRIDENT_BENCH_REPEATS (repeats per leg), TRIDENT_BENCH_OUT (JSON path).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace trident;
@@ -41,6 +47,14 @@ std::vector<ExperimentJob> buildSweep() {
     for (const SimConfig &C : Configs)
       Jobs.push_back(ExperimentJob{makeWorkload(Name), withBudget(C)});
   return Jobs;
+}
+
+unsigned repeatCount() {
+  unsigned N = 3;
+  if (const char *E = std::getenv("TRIDENT_BENCH_REPEATS"))
+    if (unsigned V = static_cast<unsigned>(std::strtoul(E, nullptr, 10)))
+      N = V;
+  return N;
 }
 
 struct Leg {
@@ -65,55 +79,123 @@ Leg runLeg(const std::vector<ExperimentJob> &Jobs, unsigned Threads) {
   return L;
 }
 
+double median(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2.0;
+}
+
+/// Counts jobs whose (Cycles, RegChecksum, Instructions) differ from the
+/// reference leg — any nonzero count is a determinism bug.
+size_t mismatchesVs(const Leg &Ref, const Leg &L) {
+  size_t Bad = 0;
+  for (size_t I = 0; I < Ref.Results.size(); ++I) {
+    const SimResult &A = *Ref.Results[I];
+    const SimResult &B = *L.Results[I];
+    if (A.Cycles != B.Cycles || A.RegChecksum != B.RegChecksum ||
+        A.Instructions != B.Instructions)
+      ++Bad;
+  }
+  return Bad;
+}
+
+void appendDoubleArray(std::string &Out, const std::vector<double> &V,
+                       const char *Fmt) {
+  Out.push_back('[');
+  char Buf[64];
+  for (size_t I = 0; I < V.size(); ++I) {
+    if (I)
+      Out.push_back(',');
+    std::snprintf(Buf, sizeof(Buf), Fmt, V[I]);
+    Out += Buf;
+  }
+  Out.push_back(']');
+}
+
 } // namespace
 
 int main() {
   std::vector<ExperimentJob> Jobs = buildSweep();
   unsigned Threads = ExperimentRunner::defaultThreadCount();
+  unsigned Repeats = repeatCount();
 
   printHeader("host_throughput",
               "simulator wall-clock throughput, serial vs parallel",
               "not a paper figure — tracks simulated-instructions-per-"
               "host-second across the repo's history");
-  std::printf("sweep: %zu jobs (14 workloads x 4 configs), parallel leg on "
-              "%u threads\n\n",
-              Jobs.size(), Threads);
+  std::printf("sweep: %zu jobs (14 workloads x 4 configs), %u repeats per "
+              "leg, parallel leg on %u threads\n\n",
+              Jobs.size(), Repeats, Threads);
 
-  std::printf("serial leg (1 worker)...\n");
-  Leg Serial = runLeg(Jobs, 1);
-  std::printf("  %.2fs, %.0f simulated instructions/host-second\n",
-              Serial.Seconds, Serial.instrPerSecond());
-
-  std::printf("parallel leg (%u workers)...\n", Threads);
-  Leg Parallel = runLeg(Jobs, Threads);
-  std::printf("  %.2fs, %.0f simulated instructions/host-second\n",
-              Parallel.Seconds, Parallel.instrPerSecond());
-
-  // Determinism cross-check: scheduling must not perturb a single bit.
+  // First serial run is the determinism reference for every later leg.
+  Leg Reference;
+  std::vector<double> SerialIps, SerialSecs, ParallelIps, ParallelSecs;
   size_t Mismatches = 0;
-  for (size_t I = 0; I < Jobs.size(); ++I) {
-    const SimResult &A = *Serial.Results[I];
-    const SimResult &B = *Parallel.Results[I];
-    if (A.Cycles != B.Cycles || A.RegChecksum != B.RegChecksum ||
-        A.Instructions != B.Instructions)
-      ++Mismatches;
+
+  std::printf("serial leg (1 worker), %u repeats...\n", Repeats);
+  for (unsigned R = 0; R < Repeats; ++R) {
+    Leg L = runLeg(Jobs, 1);
+    std::printf("  run %u: %.2fs, %.0f simulated instructions/host-second\n",
+                R + 1, L.Seconds, L.instrPerSecond());
+    SerialIps.push_back(L.instrPerSecond());
+    SerialSecs.push_back(L.Seconds);
+    if (R == 0)
+      Reference = std::move(L);
+    else
+      Mismatches += mismatchesVs(Reference, L);
   }
 
-  double Speedup =
-      Parallel.Seconds == 0.0 ? 0.0 : Serial.Seconds / Parallel.Seconds;
-  std::printf("\nspeedup: %.2fx; results %s\n", Speedup,
+  std::printf("parallel leg (%u workers), %u repeats...\n", Threads, Repeats);
+  for (unsigned R = 0; R < Repeats; ++R) {
+    Leg L = runLeg(Jobs, Threads);
+    std::printf("  run %u: %.2fs, %.0f simulated instructions/host-second\n",
+                R + 1, L.Seconds, L.instrPerSecond());
+    ParallelIps.push_back(L.instrPerSecond());
+    ParallelSecs.push_back(L.Seconds);
+    Mismatches += mismatchesVs(Reference, L);
+  }
+
+  double SerialSec = median(SerialSecs);
+  double ParallelSec = median(ParallelSecs);
+  double Speedup = ParallelSec == 0.0 ? 0.0 : SerialSec / ParallelSec;
+  std::printf("\nmedians: serial %.2fs (%.0f instr/s), parallel %.2fs "
+              "(%.0f instr/s), speedup %.2fx; results %s\n",
+              SerialSec, median(SerialIps), ParallelSec, median(ParallelIps),
+              Speedup,
               Mismatches == 0 ? "bit-identical"
                               : "MISMATCHED (determinism bug!)");
 
-  std::printf("\n{\"bench\":\"host_throughput\",\"jobs\":%zu,"
-              "\"threads\":%u,\"instr_per_run\":%llu,"
-              "\"serial_seconds\":%.3f,\"parallel_seconds\":%.3f,"
-              "\"serial_ips\":%.0f,\"parallel_ips\":%.0f,"
-              "\"speedup\":%.3f,\"identical\":%s}\n",
-              Jobs.size(), Threads,
-              static_cast<unsigned long long>(instrBudget()), Serial.Seconds,
-              Parallel.Seconds, Serial.instrPerSecond(),
-              Parallel.instrPerSecond(), Speedup,
-              Mismatches == 0 ? "true" : "false");
+  std::string Json;
+  Json.reserve(512);
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"bench\":\"host_throughput\",\"jobs\":%zu,"
+                "\"threads\":%u,\"repeats\":%u,\"instr_per_run\":%llu,"
+                "\"serial_seconds\":%.3f,\"parallel_seconds\":%.3f,"
+                "\"serial_ips\":%.0f,\"parallel_ips\":%.0f,",
+                Jobs.size(), Threads, Repeats,
+                static_cast<unsigned long long>(instrBudget()), SerialSec,
+                ParallelSec, median(SerialIps), median(ParallelIps));
+  Json += Buf;
+  Json += "\"serial_runs_ips\":";
+  appendDoubleArray(Json, SerialIps, "%.0f");
+  Json += ",\"parallel_runs_ips\":";
+  appendDoubleArray(Json, ParallelIps, "%.0f");
+  std::snprintf(Buf, sizeof(Buf), ",\"speedup\":%.3f,\"identical\":%s}",
+                Speedup, Mismatches == 0 ? "true" : "false");
+  Json += Buf;
+
+  std::printf("\n%s\n", Json.c_str());
+
+  const char *OutPath = std::getenv("TRIDENT_BENCH_OUT");
+  if (!OutPath || !*OutPath)
+    OutPath = "BENCH_host_throughput.json";
+  if (std::FILE *F = std::fopen(OutPath, "w")) {
+    std::fprintf(F, "%s\n", Json.c_str());
+    std::fclose(F);
+    std::printf("wrote %s\n", OutPath);
+  } else {
+    std::printf("WARNING: could not write %s\n", OutPath);
+  }
   return Mismatches == 0 ? 0 : 1;
 }

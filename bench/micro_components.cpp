@@ -27,7 +27,7 @@ static void BM_CacheLookupHit(benchmark::State &State) {
   Cache C({"L1", 64 * 1024, 2, 64, 3});
   C.insert(0x1000, 0, false);
   for (auto _ : State)
-    benchmark::DoNotOptimize(C.lookup(0x1000).L);
+    benchmark::DoNotOptimize(C.lookup(0x1000).Idx);
 }
 BENCHMARK(BM_CacheLookupHit);
 

@@ -359,6 +359,8 @@ void TridentRuntime::dispatchNext() {
     return; // fault-injected stall: events delay in place
   if (Core.stubActive(Config.HelperCtx))
     return;
+  if (Pending.WorkKind != PendingWork::Kind::None)
+    return; // zero-cost stub completed, but its work has not fired yet
   Registration.HelperActive = false;
   while (!Queue.empty()) {
     HardwareEvent E = Queue.pop();
@@ -378,6 +380,43 @@ void TridentRuntime::clearOptFlag(uint32_t TraceId) {
     W->OptInProgress = false;
 }
 
+void TridentRuntime::onStubDone(void *Self, Cycle) {
+  static_cast<TridentRuntime *>(Self)->finishPendingWork();
+}
+
+TridentRuntime::PendingWork &TridentRuntime::parkWork(PendingWork::Kind K) {
+  TRIDENT_DCHECK(Pending.WorkKind == PendingWork::Kind::None,
+                 "helper work parked while another unit is in flight");
+  Pending.WorkKind = K;
+  return Pending;
+}
+
+void TridentRuntime::finishPendingWork() {
+  // Consume the slot before running the finisher: finishers call
+  // dispatchNext, which may park the next unit of work in Pending.
+  PendingWork W = std::move(Pending);
+  Pending = PendingWork();
+  switch (W.WorkKind) {
+  case PendingWork::Kind::None:
+    TRIDENT_UNREACHABLE("stub completed with no parked work");
+    break;
+  case PendingWork::Kind::Formation:
+    finishTraceFormation(std::move(W.FormedTrace));
+    break;
+  case PendingWork::Kind::Insertion:
+    finishInsertion(W.TraceId, std::move(W.Plan), std::move(W.Emission),
+                    std::move(W.ClearPCs));
+    break;
+  case PendingWork::Kind::Repair:
+    finishRepair(W.TraceId, W.BaseIdx, W.LoadPC);
+    break;
+  case PendingWork::Kind::Mature:
+    finishMature(W.TraceId, W.LoadPC);
+    break;
+  }
+  dispatchNext();
+}
+
 /// Marks a helper invocation in the registration structure (all stub
 /// launches funnel through the two start*Work paths and beginInsertion).
 #define TRIDENT_NOTE_HELPER_SPAWN()                                             do {                                                                            Registration.HelperActive = true;                                             ++Registration.Invocations;                                                 } while (0)
@@ -392,11 +431,9 @@ void TridentRuntime::startHotTraceWork(const HotTraceCandidate &Cand) {
   uint64_t Work = Config.Cost.traceFormation(static_cast<unsigned>(T->size()));
   Registration.HelperActive = true;
   ++Registration.Invocations;
+  parkWork(PendingWork::Kind::Formation).FormedTrace = std::move(*T);
   Core.startStub(Config.HelperCtx, Work, Config.Cost.StartupCycles,
-                 [this, Trace = std::move(*T)](Cycle) mutable {
-                   finishTraceFormation(std::move(Trace));
-                   dispatchNext();
-                 });
+                 {&TridentRuntime::onStubDone, this});
 }
 
 void TridentRuntime::finishTraceFormation(Trace T) {
@@ -603,22 +640,23 @@ void TridentRuntime::startDelinquentWork(Addr LoadPC, uint32_t TraceId) {
       uint64_t Work = Config.Cost.repair(N);
       unsigned BaseIdx = It->second;
       TRIDENT_NOTE_HELPER_SPAWN();
+      PendingWork &W = parkWork(PendingWork::Kind::Repair);
+      W.TraceId = TraceId;
+      W.BaseIdx = BaseIdx;
+      W.LoadPC = LoadPC;
       Core.startStub(Config.HelperCtx, Work, Config.Cost.StartupCycles,
-                     [this, TraceId, BaseIdx, LoadPC](Cycle) {
-                       finishRepair(TraceId, BaseIdx, LoadPC);
-                       dispatchNext();
-                     });
+                     {&TridentRuntime::onStubDone, this});
       return;
     }
     // Covered but not repairable (pointer-only group, or a fixed-distance
     // mode): mark mature so it stops raising events (Section 3.5.2).
     uint64_t Work = Config.Cost.repair(1);
     TRIDENT_NOTE_HELPER_SPAWN();
+    PendingWork &W = parkWork(PendingWork::Kind::Mature);
+    W.TraceId = TraceId;
+    W.LoadPC = LoadPC;
     Core.startStub(Config.HelperCtx, Work, Config.Cost.StartupCycles,
-                   [this, TraceId, LoadPC](Cycle) {
-                     finishMature(TraceId, LoadPC);
-                     dispatchNext();
-                   });
+                   {&TridentRuntime::onStubDone, this});
     return;
   }
 
@@ -681,12 +719,12 @@ void TridentRuntime::beginInsertion(TraceMeta &M, Addr TriggerPC) {
     // event and dispatch): mature the trigger so it stops firing.
     uint32_t TraceId = M.Id;
     TRIDENT_NOTE_HELPER_SPAWN();
+    PendingWork &W = parkWork(PendingWork::Kind::Mature);
+    W.TraceId = TraceId;
+    W.LoadPC = TriggerPC;
     Core.startStub(Config.HelperCtx, Config.Cost.repair(1),
                    Config.Cost.StartupCycles,
-                   [this, TraceId, TriggerPC](Cycle) {
-                     finishMature(TraceId, TriggerPC);
-                     dispatchNext();
-                   });
+                   {&TridentRuntime::onStubDone, this});
     return;
   }
 
@@ -696,15 +734,13 @@ void TridentRuntime::beginInsertion(TraceMeta &M, Addr TriggerPC) {
       static_cast<unsigned>(Loads.size()));
   uint32_t TraceId = M.Id;
   TRIDENT_NOTE_HELPER_SPAWN();
-  Core.startStub(
-      Config.HelperCtx, Work, Config.Cost.StartupCycles,
-      [this, TraceId, NewPlan = std::move(NewPlan),
-       Emission = std::move(Emission),
-       ClearPCs = std::move(ClearPCs)](Cycle) mutable {
-        finishInsertion(TraceId, std::move(NewPlan), std::move(Emission),
-                        std::move(ClearPCs));
-        dispatchNext();
-      });
+  PendingWork &W = parkWork(PendingWork::Kind::Insertion);
+  W.TraceId = TraceId;
+  W.Plan = std::move(NewPlan);
+  W.Emission = std::move(Emission);
+  W.ClearPCs = std::move(ClearPCs);
+  Core.startStub(Config.HelperCtx, Work, Config.Cost.StartupCycles,
+                 {&TridentRuntime::onStubDone, this});
 }
 
 void TridentRuntime::finishInsertion(uint32_t TraceId, PrefetchPlan NewPlan,

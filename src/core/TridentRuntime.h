@@ -263,6 +263,30 @@ private:
   void startHotTraceWork(const HotTraceCandidate &Cand);
   void startDelinquentWork(Addr LoadPC, uint32_t TraceId);
 
+  /// Parks the arguments of the helper-thread work whose costed stub is
+  /// currently running on the spare context; the stub-completion
+  /// trampoline consumes it. One slot suffices because dispatchNext gates
+  /// new work on Core.stubActive, so at most one helper stub is in flight
+  /// — and a plain struct keeps stub launch free of heap-allocating
+  /// closures (the SmtCore callback is a bare function pointer).
+  struct PendingWork {
+    enum class Kind : uint8_t { None, Formation, Insertion, Repair, Mature };
+    Kind WorkKind = Kind::None;
+    Trace FormedTrace;          ///< Formation
+    PrefetchPlan Plan;          ///< Insertion
+    PlanEmission Emission;      ///< Insertion
+    std::vector<Addr> ClearPCs; ///< Insertion
+    uint32_t TraceId = 0;       ///< Insertion / Repair / Mature
+    unsigned BaseIdx = 0;       ///< Repair
+    Addr LoadPC = 0;            ///< Repair / Mature
+  };
+
+  /// SmtCore stub-completion trampoline (Ctx is the TridentRuntime).
+  static void onStubDone(void *Self, Cycle C);
+  void finishPendingWork();
+  /// Claims the (empty) pending slot for work of kind \p K.
+  PendingWork &parkWork(PendingWork::Kind K);
+
   void finishTraceFormation(Trace T);
   void beginInsertion(TraceMeta &M, Addr TriggerPC);
   void finishInsertion(uint32_t TraceId, PrefetchPlan NewPlan,
@@ -301,6 +325,7 @@ private:
   std::vector<TraceMeta> Traces;
   EventQueue Queue;
   RuntimeStats Stats;
+  PendingWork Pending;
   bool Enabled = false;
 
   EventBus *Bus = nullptr;

@@ -13,6 +13,9 @@
 #include "events/StatRegistry.h"
 #include "support/Check.h"
 
+#include <algorithm>
+#include <functional>
+
 
 using namespace trident;
 
@@ -32,6 +35,11 @@ SmtCore::SmtCore(const CoreConfig &Cfg, CodeSpace &CodeSp, DataMemory &DataMem,
     : Config(Cfg), Code(CodeSp), Data(DataMem), Mem(MemSys) {
   TRIDENT_CHECK(Config.NumContexts >= 1, "need at least one context");
   Ctxs.resize(Config.NumContexts);
+  // Pre-size every hot-path container once: the cycle loop must not touch
+  // the allocator (asserted by alloc_count_test).
+  Rob.reserve(Config.RobSize);
+  PendingStubDone.reserve(2 * Config.NumContexts);
+  FiringStubDone.reserve(2 * Config.NumContexts);
 }
 
 void SmtCore::startContext(unsigned Ctx, Addr PC) {
@@ -60,22 +68,21 @@ uint64_t SmtCore::getReg(unsigned Ctx, unsigned Reg) const {
 }
 
 void SmtCore::startStub(unsigned Ctx, uint64_t Instructions,
-                        Cycle StartupDelay,
-                        std::function<void(Cycle)> OnDone) {
+                        Cycle StartupDelay, StubCallback OnDone) {
   TRIDENT_CHECK(Ctx < Ctxs.size(), "context index out of range");
   Context &C = Ctxs[Ctx];
   TRIDENT_CHECK(!C.StubMode, "stub already active on this context");
   TRIDENT_CHECK(!C.Active, "context is running a program");
   C.StubMode = true;
   C.StubRemaining = Instructions;
-  C.StubDone = std::move(OnDone);
+  C.StubDone = OnDone;
   C.FetchStallUntil = Now + StartupDelay;
   if (Instructions == 0 && StartupDelay == 0) {
     // Degenerate: completes at the current cycle.
     C.StubMode = false;
     if (C.StubDone)
-      PendingStubDone.push_back(
-          {static_cast<uint8_t>(Ctx), std::move(C.StubDone)});
+      PendingStubDone.push_back({static_cast<uint8_t>(Ctx), C.StubDone});
+    C.StubDone = {};
   }
 }
 
@@ -97,9 +104,11 @@ void SmtCore::writeReg(Context &C, unsigned R, uint64_t V, Cycle Ready) {
   C.RegReady[R] = Ready;
 }
 
-void SmtCore::purgeRob() {
-  while (!Rob.empty() && Rob.top() <= Now)
-    Rob.pop();
+void SmtCore::purgeRobSlow() {
+  while (!Rob.empty() && Rob.front() <= Now) {
+    std::pop_heap(Rob.begin(), Rob.end(), std::greater<Cycle>());
+    Rob.pop_back();
+  }
 }
 
 Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
@@ -294,9 +303,8 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
       // Startup-only stub: nothing left to issue.
       C.StubMode = false;
       if (C.StubDone)
-        PendingStubDone.push_back(
-            {static_cast<uint8_t>(CtxIdx), std::move(C.StubDone)});
-      C.StubDone = nullptr;
+        PendingStubDone.push_back({static_cast<uint8_t>(CtxIdx), C.StubDone});
+      C.StubDone = {};
       return false;
     }
     --C.StubRemaining;
@@ -305,9 +313,8 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
     if (C.StubRemaining == 0) {
       C.StubMode = false;
       if (C.StubDone)
-        PendingStubDone.push_back(
-            {static_cast<uint8_t>(CtxIdx), std::move(C.StubDone)});
-      C.StubDone = nullptr;
+        PendingStubDone.push_back({static_cast<uint8_t>(CtxIdx), C.StubDone});
+      C.StubDone = {};
     }
     return true;
   }
@@ -360,7 +367,10 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
     DeferUntil = OperandReady;
   }
 
-  // Capacity: ROB occupancy.
+  // Capacity: ROB occupancy. Eager purging keeps the heap shallow, so
+  // the pops that do happen sift through a handful of entries instead of
+  // a full 128-deep heap; the common nothing-matured case is the inline
+  // two-load check in purgeRob().
   purgeRob();
   if (robFull()) {
     noteWake(robEarliest());
@@ -377,7 +387,8 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
                  "%llu, pc 0x%llx)",
                  (unsigned long long)Done, (unsigned long long)DeferUntil,
                  (unsigned long long)PC);
-  Rob.push(Done);
+  Rob.push_back(Done);
+  std::push_heap(Rob.begin(), Rob.end(), std::greater<Cycle>());
   TRIDENT_DCHECK(Rob.size() <= Config.RobSize,
                  "ROB occupancy %zu exceeds capacity %u", Rob.size(),
                  Config.RobSize);
@@ -427,11 +438,14 @@ SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
     // Fire stub completions outside the issue loop (they may patch code or
     // start new stubs).
     if (!PendingStubDone.empty()) {
-      std::vector<StubCompletion> Done;
-      Done.swap(PendingStubDone);
+      // Swap into the member scratch (both keep their capacity): firing a
+      // completion may start a new stub, which pushes onto the — now
+      // empty — pending list without invalidating this iteration.
+      FiringStubDone.clear();
+      FiringStubDone.swap(PendingStubDone);
       // Published unconditionally (stub completions are rare, and this
       // keeps the publish counters independent of which sinks subscribe).
-      for (StubCompletion &SC : Done) {
+      for (StubCompletion &SC : FiringStubDone) {
         if (Bus)
           Bus->publish(HardwareEvent::helperDone(SC.Ctx, Now));
         SC.Fn(Now);

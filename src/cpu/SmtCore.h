@@ -31,8 +31,6 @@
 #include "mem/MemorySystem.h"
 
 #include <array>
-#include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -51,6 +49,18 @@ struct CoreConfig {
   unsigned NumContexts = 2;
 
   static CoreConfig baseline() { return CoreConfig(); }
+};
+
+/// Non-allocating completion callback for helper stubs: a plain function
+/// pointer plus an opaque context, so launching a stub on the hot path
+/// never constructs a heap-backed closure (the runtime's captures exceed
+/// any std::function small-buffer optimization).
+struct StubCallback {
+  void (*Fn)(void *, Cycle) = nullptr;
+  void *Ctx = nullptr;
+
+  explicit operator bool() const { return Fn != nullptr; }
+  void operator()(Cycle C) const { Fn(Ctx, C); }
 };
 
 /// Per-context execution statistics.
@@ -96,7 +106,7 @@ public:
   /// priority; \p OnDone fires at the cycle the stub finishes. Only one
   /// stub may be active per context.
   void startStub(unsigned Ctx, uint64_t Instructions, Cycle StartupDelay,
-                 std::function<void(Cycle)> OnDone);
+                 StubCallback OnDone);
   bool stubActive(unsigned Ctx) const;
 
   /// Advances simulation until context 0 has committed \p TargetCommits
@@ -125,7 +135,7 @@ private:
     // Helper-stub state.
     bool StubMode = false;
     uint64_t StubRemaining = 0;
-    std::function<void(Cycle)> StubDone;
+    StubCallback StubDone;
     ContextStats Stats;
   };
 
@@ -153,9 +163,16 @@ private:
   }
   void writeReg(Context &C, unsigned R, uint64_t V, Cycle Ready);
 
-  void purgeRob();
+  /// Drops matured completion times from the ROB heap. The no-op case
+  /// (nothing matured — the overwhelmingly common one) stays inline; the
+  /// popping loop lives out of line in purgeRobSlow().
+  void purgeRob() {
+    if (!Rob.empty() && Rob.front() <= Now)
+      purgeRobSlow();
+  }
+  void purgeRobSlow();
   bool robFull() const { return Rob.size() >= Config.RobSize; }
-  Cycle robEarliest() const { return Rob.top(); }
+  Cycle robEarliest() const { return Rob.front(); }
 
   CoreConfig Config;
   CodeSpace &Code;
@@ -172,16 +189,22 @@ private:
   std::vector<Context> Ctxs;
   Cycle Now = 0;
   Cycle HelperBusy = 0;
-  // Completion times of in-flight instructions (min-heap).
-  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>> Rob;
+  // Completion times of in-flight instructions: a flat binary min-heap
+  // (std::push_heap/pop_heap over a vector reserved to RobSize at
+  // construction), so ROB pressure never regrows storage mid-run.
+  std::vector<Cycle> Rob;
   // Stub completions to fire after the current cycle's issue loop; the
   // context index rides along so the completion can publish a HelperDone
   // event attributed to the right hardware context.
   struct StubCompletion {
     uint8_t Ctx;
-    std::function<void(Cycle)> Fn;
+    StubCallback Fn;
   };
   std::vector<StubCompletion> PendingStubDone;
+  /// Scratch the run loop swaps PendingStubDone into before firing, so a
+  /// completion can start a new stub without invalidating the iteration
+  /// and no fresh vector is constructed per completion cycle.
+  std::vector<StubCompletion> FiringStubDone;
 };
 
 } // namespace trident

@@ -45,65 +45,61 @@ DelinquentLoadTable::DelinquentLoadTable(const DltConfig &Cfg)
   TRIDENT_CHECK(Config.MissThreshold <= Config.MonitorWindow,
                 "miss threshold %u cannot exceed the %u-access window",
                 Config.MissThreshold, Config.MonitorWindow);
-  Entries.resize(Config.NumEntries);
+  TagsArr.resize(Config.NumEntries, 0);
+  ValidArr.resize(Config.NumEntries, 0);
+  Payloads.resize(Config.NumEntries);
 }
 
-DelinquentLoadTable::Entry *DelinquentLoadTable::find(Addr PC) {
+size_t DelinquentLoadTable::find(Addr PC) const {
   size_t Base = setIndex(PC) * Config.Assoc;
-  for (unsigned W = 0; W < Config.Assoc; ++W) {
-    Entry &E = Entries[Base + W];
-    if (E.Valid && E.Tag == PC)
-      return &E;
-  }
-  return nullptr;
+  for (unsigned W = 0; W < Config.Assoc; ++W)
+    if (ValidArr[Base + W] && TagsArr[Base + W] == PC)
+      return Base + W;
+  return NoEntry;
 }
 
-const DelinquentLoadTable::Entry *DelinquentLoadTable::find(Addr PC) const {
-  return const_cast<DelinquentLoadTable *>(this)->find(PC);
-}
-
-DelinquentLoadTable::Entry &DelinquentLoadTable::findOrAllocate(Addr PC) {
-  if (Entry *E = find(PC)) {
-    E->LastUse = ++UseClock;
-    return *E;
+size_t DelinquentLoadTable::findOrAllocate(Addr PC) {
+  if (size_t I = find(PC); I != NoEntry) {
+    Payloads[I].LastUse = ++UseClock;
+    return I;
   }
   size_t Base = setIndex(PC) * Config.Assoc;
   // Size bound: the DLT is a fixed SRAM structure (Table 2); every set
   // must lie inside the backing array or replacement state is corrupt.
-  TRIDENT_DCHECK(Base + Config.Assoc <= Entries.size(),
+  TRIDENT_DCHECK(Base + Config.Assoc <= TagsArr.size(),
                  "DLT set for pc 0x%llx overruns the table (base %zu + %u > "
                  "%zu entries)",
-                 (unsigned long long)PC, Base, Config.Assoc, Entries.size());
-  Entry *Victim = &Entries[Base];
+                 (unsigned long long)PC, Base, Config.Assoc, TagsArr.size());
+  size_t Victim = Base;
   for (unsigned W = 0; W < Config.Assoc; ++W) {
-    Entry &E = Entries[Base + W];
-    if (!E.Valid) {
-      Victim = &E;
+    size_t I = Base + W;
+    if (!ValidArr[I]) {
+      Victim = I;
       break;
     }
-    if (E.LastUse < Victim->LastUse)
-      Victim = &E;
+    if (Payloads[I].LastUse < Payloads[Victim].LastUse)
+      Victim = I;
   }
-  if (Victim->Valid)
+  if (ValidArr[Victim])
     ++Stats.Replacements;
-  *Victim = Entry();
-  Victim->Valid = true;
-  Victim->Tag = PC;
-  Victim->LastUse = ++UseClock;
-  return *Victim;
+  Payloads[Victim] = Payload();
+  ValidArr[Victim] = 1;
+  TagsArr[Victim] = PC;
+  Payloads[Victim].LastUse = ++UseClock;
+  return Victim;
 }
 
-bool DelinquentLoadTable::meetsDelinquencyCriteria(const Entry &E) const {
-  if (E.Misses < Config.MissThreshold)
+bool DelinquentLoadTable::meetsDelinquencyCriteria(const Payload &P) const {
+  if (P.Misses < Config.MissThreshold)
     return false;
-  double AvgMissLat = static_cast<double>(E.TotalMissLatency) / E.Misses;
+  double AvgMissLat = static_cast<double>(P.TotalMissLatency) / P.Misses;
   return AvgMissLat > static_cast<double>(Config.LatencyThreshold);
 }
 
 bool DelinquentLoadTable::update(Addr LoadPC, Addr EffectiveAddr, bool Miss,
                                  unsigned MissLatency) {
   ++Stats.Updates;
-  Entry &E = findOrAllocate(LoadPC);
+  Payload &E = Payloads[findOrAllocate(LoadPC)];
 
   // Stride prediction state updates on *every* committed instance of the
   // load, independent of the window counters (Section 3.3).
@@ -168,65 +164,68 @@ bool DelinquentLoadTable::update(Addr LoadPC, Addr EffectiveAddr, bool Miss,
 }
 
 std::optional<DltSnapshot> DelinquentLoadTable::lookup(Addr LoadPC) const {
-  const Entry *E = find(LoadPC);
-  if (!E)
+  size_t I = find(LoadPC);
+  if (I == NoEntry)
     return std::nullopt;
+  const Payload &P = Payloads[I];
   DltSnapshot S;
   S.LoadPC = LoadPC;
-  S.Accesses = E->Accesses;
-  S.Misses = E->Misses;
-  S.TotalMissLatency = E->TotalMissLatency;
-  S.Stride = E->Stride;
-  S.StridePredictable = E->StrideConf.value() >= Config.StrideConfidentAt;
-  S.Mature = E->Mature;
+  S.Accesses = P.Accesses;
+  S.Misses = P.Misses;
+  S.TotalMissLatency = P.TotalMissLatency;
+  S.Stride = P.Stride;
+  S.StridePredictable = P.StrideConf.value() >= Config.StrideConfidentAt;
+  S.Mature = P.Mature;
   return S;
 }
 
 bool DelinquentLoadTable::isDelinquent(Addr LoadPC) const {
-  const Entry *E = find(LoadPC);
-  if (!E || E->Mature)
+  size_t I = find(LoadPC);
+  if (I == NoEntry || Payloads[I].Mature)
     return false;
-  if (E->Misses == 0)
+  const Payload &P = Payloads[I];
+  if (P.Misses == 0)
     return false;
-  double AvgMissLat = static_cast<double>(E->TotalMissLatency) / E->Misses;
+  double AvgMissLat = static_cast<double>(P.TotalMissLatency) / P.Misses;
   if (AvgMissLat <= static_cast<double>(Config.LatencyThreshold))
     return false;
   // Partial-window scaling (Section 3.4.1): judge the miss *rate* using
   // the accesses seen so far rather than the full window.
-  if (E->Accesses >= Config.MonitorWindow)
-    return E->Misses >= Config.MissThreshold;
+  if (P.Accesses >= Config.MonitorWindow)
+    return P.Misses >= Config.MissThreshold;
   double RateThreshold = static_cast<double>(Config.MissThreshold) /
                          static_cast<double>(Config.MonitorWindow);
   // Require a minimum sample so one early miss does not classify.
-  if (E->Accesses < Config.MonitorWindow / 8)
+  if (P.Accesses < Config.MonitorWindow / 8)
     return false;
-  return static_cast<double>(E->Misses) / E->Accesses >= RateThreshold;
+  return static_cast<double>(P.Misses) / P.Accesses >= RateThreshold;
 }
 
 void DelinquentLoadTable::clearWindow(Addr LoadPC) {
-  Entry *E = find(LoadPC);
-  if (!E)
+  size_t I = find(LoadPC);
+  if (I == NoEntry)
     return;
-  E->Accesses = 0;
-  E->Misses = 0;
-  E->TotalMissLatency = 0;
-  E->Frozen = false;
+  Payload &P = Payloads[I];
+  P.Accesses = 0;
+  P.Misses = 0;
+  P.TotalMissLatency = 0;
+  P.Frozen = false;
 }
 
 void DelinquentLoadTable::forceMature(Addr LoadPC) {
-  Entry &E = findOrAllocate(LoadPC);
-  E.Mature = true;
-  E.Accesses = 0;
-  E.Misses = 0;
-  E.TotalMissLatency = 0;
-  E.Frozen = false;
+  Payload &P = Payloads[findOrAllocate(LoadPC)];
+  P.Mature = true;
+  P.Accesses = 0;
+  P.Misses = 0;
+  P.TotalMissLatency = 0;
+  P.Frozen = false;
 }
 
 uint64_t DelinquentLoadTable::clearAllMature() {
   uint64_t N = 0;
-  for (Entry &E : Entries) {
-    if (E.Valid && E.Mature) {
-      E.Mature = false;
+  for (size_t I = 0; I < Payloads.size(); ++I) {
+    if (ValidArr[I] && Payloads[I].Mature) {
+      Payloads[I].Mature = false;
       ++N;
     }
   }
@@ -235,9 +234,11 @@ uint64_t DelinquentLoadTable::clearAllMature() {
 
 uint64_t DelinquentLoadTable::invalidateAll() {
   uint64_t N = 0;
-  for (Entry &E : Entries) {
-    if (E.Valid) {
-      E = Entry();
+  for (size_t I = 0; I < Payloads.size(); ++I) {
+    if (ValidArr[I]) {
+      ValidArr[I] = 0;
+      TagsArr[I] = 0;
+      Payloads[I] = Payload();
       ++N;
     }
   }
@@ -245,14 +246,15 @@ uint64_t DelinquentLoadTable::invalidateAll() {
 }
 
 void DelinquentLoadTable::setMature(Addr LoadPC, bool Mature) {
-  Entry *E = find(LoadPC);
-  if (!E)
+  size_t I = find(LoadPC);
+  if (I == NoEntry)
     return;
-  E->Mature = Mature;
+  Payload &P = Payloads[I];
+  P.Mature = Mature;
   if (Mature) {
-    E->Accesses = 0;
-    E->Misses = 0;
-    E->TotalMissLatency = 0;
-    E->Frozen = false;
+    P.Accesses = 0;
+    P.Misses = 0;
+    P.TotalMissLatency = 0;
+    P.Frozen = false;
   }
 }

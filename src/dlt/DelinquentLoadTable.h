@@ -142,9 +142,10 @@ public:
   const DltStats &stats() const { return Stats; }
 
 private:
-  struct Entry {
-    bool Valid = false;
-    Addr Tag = 0;
+  /// Per-entry monitoring state minus the lookup key. The key (tag +
+  /// valid bit) lives in packed parallel arrays so the per-commit find()
+  /// scans contiguous tags instead of striding over this fat record.
+  struct Payload {
     uint32_t Accesses = 0;
     uint32_t Misses = 0;
     uint64_t TotalMissLatency = 0;
@@ -158,16 +159,20 @@ private:
     uint64_t LastUse = 0;
   };
 
-  bool meetsDelinquencyCriteria(const Entry &E) const;
+  static constexpr size_t NoEntry = ~static_cast<size_t>(0);
+
+  bool meetsDelinquencyCriteria(const Payload &P) const;
 
   size_t setIndex(Addr PC) const { return PC & (NumSets - 1); }
-  Entry *find(Addr PC);
-  const Entry *find(Addr PC) const;
-  Entry &findOrAllocate(Addr PC);
+  size_t find(Addr PC) const;
+  size_t findOrAllocate(Addr PC);
 
   DltConfig Config;
   size_t NumSets;
-  std::vector<Entry> Entries; // NumSets * Assoc, set-major
+  // Set-major SoA entry state: index = set * Assoc + way.
+  std::vector<Addr> TagsArr;
+  std::vector<uint8_t> ValidArr;
+  std::vector<Payload> Payloads;
   DltStats Stats;
   uint64_t UseClock = 0;
 };

@@ -83,7 +83,7 @@ void EventTracer::clear() {
 
 std::string EventTracer::chromeTraceJson() const {
   std::string Out;
-  Out.reserve(Ring.size() * 96 + 128);
+  Out.reserve(Ring.size() * 192 + 256); // one ~190-byte line per record
   Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool First = true;
   char Buf[192];

@@ -117,7 +117,13 @@ void appendReal(std::string &Out, double V) {
 
 std::string StatRegistry::toJsonl() const {
   std::string Out;
-  Out.reserve(Map.size() * 64);
+  // Pre-size to an upper bound of the export so appending never regrows:
+  // per entry, the JSON scaffolding + name + a 20-digit value, plus up to
+  // 21 bytes per histogram bucket.
+  size_t Est = 0;
+  for (const auto &KV : Map)
+    Est += KV.second.Name.size() + 72 + KV.second.Buckets.size() * 21;
+  Out.reserve(Est);
   for (const Entry *E : sortedEntries()) {
     Out += "{\"name\":";
     appendJsonString(Out, E->Name);

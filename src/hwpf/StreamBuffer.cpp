@@ -23,6 +23,8 @@ void StreamBufferStats::registerInto(StatRegistry &R,
 StreamBufferUnit::StreamBufferUnit(const StreamBufferConfig &Cfg)
     : Config(Cfg), Predictor(Config.HistoryEntries) {
   Buffers.resize(Config.NumBuffers);
+  for (Buffer &B : Buffers)
+    B.Ring.resize(Config.Depth);
 }
 
 std::string StreamBufferUnit::name() const {
@@ -39,10 +41,10 @@ unsigned StreamBufferUnit::numActiveBuffers() const {
 
 bool StreamBufferUnit::coveredByExistingStream(Addr LineAddr) const {
   for (const Buffer &B : Buffers) {
-    if (!B.Valid)
+    if (!B.Valid || !B.mayContain(LineAddr))
       continue;
-    for (const Entry &E : B.Entries)
-      if (E.LineAddr == LineAddr)
+    for (uint32_t I = 0; I < B.Count; ++I)
+      if (B.at(I).LineAddr == LineAddr)
         return true;
   }
   return false;
@@ -56,7 +58,7 @@ void StreamBufferUnit::refill(Buffer &B, Cycle Now, MemoryBackend &BE) {
   // moment it is allocated) — so losing a buffer to LRU stealing costs the
   // ramp again, which is what makes >8 concurrent streams expensive.
   unsigned NewFetches = 0;
-  while (B.Entries.size() < Config.Depth && NewFetches < MaxFetchesPerRefill &&
+  while (B.Count < Config.Depth && NewFetches < MaxFetchesPerRefill &&
          Guard++ < 4 * Config.Depth) {
     Addr Line = B.NextAddr & ~static_cast<Addr>(LineSize - 1);
     if (Config.StopAtPageBoundary &&
@@ -64,10 +66,10 @@ void StreamBufferUnit::refill(Buffer &B, Cycle Now, MemoryBackend &BE) {
       break; // streams do not run past their page
     B.NextAddr = static_cast<Addr>(static_cast<int64_t>(B.NextAddr) + B.Stride);
     // Sub-line strides revisit the same line; only fetch new lines.
-    if (!B.Entries.empty() && B.Entries.back().LineAddr == Line)
+    if (B.Count != 0 && B.backEntry().LineAddr == Line)
       continue;
     Cycle Ready = BE.fetchBeyondL1(Line, Now, AccessKind::HardwarePrefetch);
-    B.Entries.push_back({Line, Ready});
+    B.push({Line, Ready});
     ++Stats.LinesPrefetched;
     ++NewFetches;
   }
@@ -146,7 +148,7 @@ void StreamBufferUnit::trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
   Victim->NextAddr =
       static_cast<Addr>(static_cast<int64_t>(ByteAddr) + *Stride);
   Victim->LastUse = ++UseClock;
-  Victim->Entries.clear();
+  Victim->clearEntries();
   ++Stats.Allocations;
   refill(*Victim, Now, BE);
 }
@@ -154,15 +156,14 @@ void StreamBufferUnit::trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
 std::optional<Cycle> StreamBufferUnit::probe(Addr LineAddr, Cycle Now,
                                              MemoryBackend &BE) {
   for (Buffer &B : Buffers) {
-    if (!B.Valid)
+    if (!B.Valid || !B.mayContain(LineAddr))
       continue;
-    for (size_t I = 0; I < B.Entries.size(); ++I) {
-      if (B.Entries[I].LineAddr != LineAddr)
+    for (uint32_t I = 0; I < B.Count; ++I) {
+      if (B.at(I).LineAddr != LineAddr)
         continue;
-      Cycle Ready = B.Entries[I].Ready;
+      Cycle Ready = B.at(I).Ready;
       // Consume up to and including the hit entry, then run ahead.
-      B.Entries.erase(B.Entries.begin(),
-                      B.Entries.begin() + static_cast<long>(I) + 1);
+      B.popFront(I + 1);
       B.LastUse = ++UseClock;
       refill(B, Now, BE);
       ++Stats.ProbeHits;

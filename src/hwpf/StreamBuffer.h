@@ -19,7 +19,6 @@
 #include "hwpf/StridePredictor.h"
 #include "mem/MemorySystem.h"
 
-#include <deque>
 #include <vector>
 
 namespace trident {
@@ -89,7 +88,49 @@ private:
     int64_t Stride = 0;
     Addr AllocPC = 0;
     uint64_t LastUse = 0;
-    std::deque<Entry> Entries;
+    /// FIFO of prefetched lines: a fixed ring of Depth slots allocated at
+    /// construction, so probe/refill on the per-miss path never touch the
+    /// allocator (a deque reallocates blocks as the window slides).
+    std::vector<Entry> Ring;
+    uint32_t Head = 0;  ///< slot of the oldest entry
+    uint32_t Count = 0; ///< live entries
+    /// Conservative bounding box over every line pushed since the last
+    /// clearEntries(): pops leave it stale-wide, which only costs a
+    /// needless scan, never a wrong answer. Lets the per-miss probe and
+    /// coverage checks reject a whole buffer with two compares instead
+    /// of walking its entries (strides may be negative or skip lines, so
+    /// an exact range test is not available).
+    Addr LoLine = ~static_cast<Addr>(0);
+    Addr HiLine = 0;
+
+    uint32_t slot(uint32_t I) const {
+      uint32_t S = Head + I; // Head < cap and I <= Count <= cap
+      return S >= Ring.size() ? S - static_cast<uint32_t>(Ring.size()) : S;
+    }
+    const Entry &at(uint32_t I) const { return Ring[slot(I)]; }
+    const Entry &backEntry() const { return Ring[slot(Count - 1)]; }
+    void push(const Entry &E) {
+      Ring[slot(Count)] = E;
+      ++Count;
+      if (E.LineAddr < LoLine)
+        LoLine = E.LineAddr;
+      if (E.LineAddr > HiLine)
+        HiLine = E.LineAddr;
+    }
+    bool mayContain(Addr LineAddr) const {
+      return LineAddr >= LoLine && LineAddr <= HiLine;
+    }
+    /// Drops the oldest \p N entries.
+    void popFront(uint32_t N) {
+      Head = slot(N);
+      Count -= N;
+    }
+    void clearEntries() {
+      Head = 0;
+      Count = 0;
+      LoLine = ~static_cast<Addr>(0);
+      HiLine = 0;
+    }
   };
 
   /// Tops \p B up to Depth entries, issuing fills through \p BE.

@@ -82,114 +82,3 @@ const char *trident::opcodeName(Opcode Op) {
   TRIDENT_UNREACHABLE("invalid opcode");
   return "<bad>";
 }
-
-ExecClass trident::execClass(Opcode Op) {
-  switch (Op) {
-  case Opcode::Nop:
-  case Opcode::Halt:
-    return ExecClass::None;
-  case Opcode::FAdd:
-  case Opcode::FMul:
-  case Opcode::FDiv:
-    return ExecClass::FpAlu;
-  case Opcode::Load:
-  case Opcode::Store:
-  case Opcode::NFLoad:
-  case Opcode::Prefetch:
-    return ExecClass::Mem;
-  case Opcode::Beq:
-  case Opcode::Bne:
-  case Opcode::Blt:
-  case Opcode::Bge:
-  case Opcode::Jump:
-    return ExecClass::Branch;
-  default:
-    return ExecClass::IntAlu;
-  }
-}
-
-unsigned trident::executionLatency(Opcode Op) {
-  switch (Op) {
-  case Opcode::Mul:
-  case Opcode::MulI:
-    return 3;
-  case Opcode::FAdd:
-  case Opcode::FMul:
-    return 4;
-  case Opcode::FDiv:
-    return 12;
-  default:
-    return 1;
-  }
-}
-
-bool trident::isLoad(Opcode Op) {
-  return Op == Opcode::Load || Op == Opcode::NFLoad;
-}
-
-bool trident::isMemAccess(Opcode Op) {
-  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::NFLoad ||
-         Op == Opcode::Prefetch;
-}
-
-bool trident::isConditionalBranch(Opcode Op) {
-  return Op == Opcode::Beq || Op == Opcode::Bne || Op == Opcode::Blt ||
-         Op == Opcode::Bge;
-}
-
-bool trident::isBranch(Opcode Op) {
-  return isConditionalBranch(Op) || Op == Opcode::Jump;
-}
-
-bool trident::writesRd(Opcode Op) {
-  switch (Op) {
-  case Opcode::Nop:
-  case Opcode::Halt:
-  case Opcode::Store:
-  case Opcode::Prefetch:
-  case Opcode::Beq:
-  case Opcode::Bne:
-  case Opcode::Blt:
-  case Opcode::Bge:
-  case Opcode::Jump:
-    return false;
-  default:
-    return true;
-  }
-}
-
-bool trident::readsRs1(Opcode Op) {
-  switch (Op) {
-  case Opcode::Nop:
-  case Opcode::Halt:
-  case Opcode::LoadImm:
-  case Opcode::Jump:
-    return false;
-  default:
-    return true;
-  }
-}
-
-bool trident::readsRs2(Opcode Op) {
-  switch (Op) {
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::Mul:
-  case Opcode::FAdd:
-  case Opcode::FMul:
-  case Opcode::FDiv:
-  case Opcode::Store: // Rs2 is the stored value.
-  case Opcode::Beq:
-  case Opcode::Bne:
-  case Opcode::Blt:
-  case Opcode::Bge:
-    return true;
-  default:
-    return false;
-  }
-}

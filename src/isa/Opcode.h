@@ -84,34 +84,132 @@ enum class ExecClass : uint8_t {
 /// Returns the mnemonic (e.g. "addi").
 const char *opcodeName(Opcode Op);
 
+// The opcode property predicates below run in the fetch/issue inner loop
+// (4-5 calls per committed instruction); they are constexpr inline so the
+// compiler folds them into the caller instead of paying an out-of-line
+// call per query.
+
 /// Returns the functional-unit class for \p Op.
-ExecClass execClass(Opcode Op);
+constexpr ExecClass execClass(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return ExecClass::None;
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return ExecClass::FpAlu;
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::NFLoad:
+  case Opcode::Prefetch:
+    return ExecClass::Mem;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jump:
+    return ExecClass::Branch;
+  default:
+    return ExecClass::IntAlu;
+  }
+}
 
 /// Fixed execution latency in cycles for non-memory instructions; loads and
 /// stores get their latency from the memory hierarchy instead.
-unsigned executionLatency(Opcode Op);
+constexpr unsigned executionLatency(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+  case Opcode::MulI:
+    return 3;
+  case Opcode::FAdd:
+  case Opcode::FMul:
+    return 4;
+  case Opcode::FDiv:
+    return 12;
+  default:
+    return 1;
+  }
+}
 
 /// True for Load and NFLoad (instructions that read data memory into Rd).
-bool isLoad(Opcode Op);
+constexpr bool isLoad(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::NFLoad;
+}
 
 /// True for any instruction that computes a data memory address
 /// (Load, NFLoad, Store, Prefetch).
-bool isMemAccess(Opcode Op);
+constexpr bool isMemAccess(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::NFLoad ||
+         Op == Opcode::Prefetch;
+}
 
 /// True for conditional branches (Beq..Bge).
-bool isConditionalBranch(Opcode Op);
+constexpr bool isConditionalBranch(Opcode Op) {
+  return Op == Opcode::Beq || Op == Opcode::Bne || Op == Opcode::Blt ||
+         Op == Opcode::Bge;
+}
 
 /// True for any control transfer (conditional branches and Jump).
-bool isBranch(Opcode Op);
+constexpr bool isBranch(Opcode Op) {
+  return isConditionalBranch(Op) || Op == Opcode::Jump;
+}
 
 /// True if the instruction writes register Rd.
-bool writesRd(Opcode Op);
+constexpr bool writesRd(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Store:
+  case Opcode::Prefetch:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jump:
+    return false;
+  default:
+    return true;
+  }
+}
 
 /// True if the instruction reads register Rs1.
-bool readsRs1(Opcode Op);
+constexpr bool readsRs1(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::LoadImm:
+  case Opcode::Jump:
+    return false;
+  default:
+    return true;
+  }
+}
 
 /// True if the instruction reads register Rs2.
-bool readsRs2(Opcode Op);
+constexpr bool readsRs2(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Mul:
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::Store: // Rs2 is the stored value.
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return true;
+  default:
+    return false;
+  }
+}
 
 namespace reg {
 /// Register conventions. R0 is hardwired to zero. The top three registers

@@ -15,28 +15,45 @@ using namespace trident;
 
 static bool isPowerOfTwo(uint64_t X) { return X && (X & (X - 1)) == 0; }
 
-Cache::Cache(const CacheConfig &Cfg) : Config(Cfg), Sets(Config.numSets()) {
+static unsigned log2OfPow2(uint64_t X) {
+  unsigned S = 0;
+  while ((uint64_t{1} << S) < X)
+    ++S;
+  return S;
+}
+
+Cache::Cache(const CacheConfig &Cfg)
+    : Config(Cfg), Sets(Config.numSets()),
+      LineShift(log2OfPow2(Config.LineSize)) {
   TRIDENT_CHECK(isPowerOfTwo(Sets),
                 "%s set count %llu must be a power of two",
                 Config.Name.c_str(), (unsigned long long)Sets);
   TRIDENT_CHECK(isPowerOfTwo(Config.LineSize),
                 "%s line size %u must be a power of two", Config.Name.c_str(),
                 Config.LineSize);
-  SetArray.resize(Sets);
-  for (auto &S : SetArray)
-    S.Ways.resize(Config.Assoc);
+  const size_t NumLines = Sets * Config.Assoc;
+  TagsArr.resize(NumLines, kNoTag);
+  FillReadyArr.resize(NumLines, 0);
+  LastUseArr.resize(NumLines, 0);
+  FlagsArr.resize(NumLines, 0);
+  VictimTags.resize(Sets * VictimDepth, 0);
+  VictimValid.resize(Sets * VictimDepth, 0);
+  VictimNext.resize(Sets, 0);
 }
 
-void Cache::SetState::recordVictim(uint64_t Tag) {
-  VictimTags[VictimNext] = Tag;
-  VictimValid[VictimNext] = true;
-  VictimNext = (VictimNext + 1) % VictimDepth;
+void Cache::recordVictim(uint64_t Set, uint64_t Tag) {
+  const uint64_t Base = Set * VictimDepth;
+  const unsigned Slot = VictimNext[Set];
+  VictimTags[Base + Slot] = Tag;
+  VictimValid[Base + Slot] = 1;
+  VictimNext[Set] = static_cast<uint8_t>((Slot + 1) % VictimDepth);
 }
 
-bool Cache::SetState::consumeVictim(uint64_t Tag) {
+bool Cache::consumeVictim(uint64_t Set, uint64_t Tag) {
+  const uint64_t Base = Set * VictimDepth;
   for (unsigned I = 0; I < VictimDepth; ++I) {
-    if (VictimValid[I] && VictimTags[I] == Tag) {
-      VictimValid[I] = false;
+    if (VictimValid[Base + I] && VictimTags[Base + I] == Tag) {
+      VictimValid[Base + I] = 0;
       return true;
     }
   }
@@ -48,24 +65,27 @@ Cache::LookupResult Cache::lookup(Addr LineAddr) {
                  "unaligned %s line address 0x%llx (line size %u)",
                  Config.Name.c_str(), (unsigned long long)LineAddr,
                  Config.LineSize);
-  SetState &S = SetArray[setIndex(LineAddr)];
-  uint64_t Tag = tagOf(LineAddr);
-  for (Line &L : S.Ways) {
-    if (L.Valid && L.Tag == Tag) {
-      L.LastUse = ++UseClock;
-      return {&L, false};
+  const uint64_t Set = setIndex(LineAddr);
+  const uint64_t Tag = tagOf(LineAddr);
+  const LineIdx Base = static_cast<LineIdx>(Set * Config.Assoc);
+  const LineIdx End = Base + Config.Assoc;
+  for (LineIdx I = Base; I < End; ++I) {
+    if (TagsArr[I] == Tag) {
+      LastUseArr[I] = ++UseClock;
+      return {I, false};
     }
   }
-  return {nullptr, S.consumeVictim(Tag)};
+  return {NoLine, consumeVictim(Set, Tag)};
 }
 
-const Cache::Line *Cache::peek(Addr LineAddr) const {
-  const SetState &S = SetArray[setIndex(LineAddr)];
-  uint64_t Tag = tagOf(LineAddr);
-  for (const Line &L : S.Ways)
-    if (L.Valid && L.Tag == Tag)
-      return &L;
-  return nullptr;
+Cache::LineIdx Cache::peek(Addr LineAddr) const {
+  const uint64_t Set = setIndex(LineAddr);
+  const uint64_t Tag = tagOf(LineAddr);
+  const LineIdx Base = static_cast<LineIdx>(Set * Config.Assoc);
+  for (LineIdx I = Base; I < Base + Config.Assoc; ++I)
+    if (TagsArr[I] == Tag)
+      return I;
+  return NoLine;
 }
 
 void Cache::insert(Addr LineAddr, Cycle FillReady, bool Prefetched) {
@@ -73,66 +93,72 @@ void Cache::insert(Addr LineAddr, Cycle FillReady, bool Prefetched) {
                  "unaligned %s line address 0x%llx (line size %u)",
                  Config.Name.c_str(), (unsigned long long)LineAddr,
                  Config.LineSize);
-  SetState &S = SetArray[setIndex(LineAddr)];
-  uint64_t Tag = tagOf(LineAddr);
+  const uint64_t Set = setIndex(LineAddr);
+  const uint64_t Tag = tagOf(LineAddr);
+  TRIDENT_DCHECK(Tag != kNoTag, "line address 0x%llx maps to the sentinel tag",
+                 (unsigned long long)LineAddr);
+  const LineIdx Base = static_cast<LineIdx>(Set * Config.Assoc);
+  const LineIdx End = Base + Config.Assoc;
 
-  // Refill of a present line (e.g. prefetch of a resident line): refresh.
-  for (Line &L : S.Ways) {
-    if (L.Valid && L.Tag == Tag) {
-      L.LastUse = ++UseClock;
+  // One pass over the ways: a refill of a present line (e.g. prefetch of a
+  // resident line) only refreshes LRU; otherwise pick the victim — the
+  // first invalid way, else LRU (earliest index breaks LastUse ties).
+  LineIdx Victim = Base;
+  bool HaveInvalid = false;
+  for (LineIdx I = Base; I < End; ++I) {
+    const uint64_t T = TagsArr[I];
+    if (T == kNoTag) {
+      if (!HaveInvalid) {
+        Victim = I;
+        HaveInvalid = true;
+      }
+      continue;
+    }
+    if (T == Tag) {
+      LastUseArr[I] = ++UseClock;
       return;
     }
+    if (!HaveInvalid && LastUseArr[I] < LastUseArr[Victim])
+      Victim = I;
   }
 
-  // Pick victim: an invalid way, else LRU.
-  Line *Victim = &S.Ways[0];
-  for (Line &L : S.Ways) {
-    if (!L.Valid) {
-      Victim = &L;
-      break;
-    }
-    if (L.LastUse < Victim->LastUse)
-      Victim = &L;
-  }
-
-  if (Victim->Valid && Prefetched && !Victim->Untouched) {
+  if (TagsArr[Victim] != kNoTag && Prefetched &&
+      !(FlagsArr[Victim] & kUntouched)) {
     // A prefetch displaced a line the program had actually used: remember
     // the tag so a subsequent miss can be blamed on prefetching (Fig. 6).
-    S.recordVictim(Victim->Tag);
+    recordVictim(Set, TagsArr[Victim]);
   }
 
-  Victim->Valid = true;
-  Victim->Tag = Tag;
-  Victim->FillReady = FillReady;
-  Victim->Prefetched = Prefetched;
-  Victim->Untouched = Prefetched;
-  Victim->LastUse = ++UseClock;
+  TagsArr[Victim] = Tag;
+  FillReadyArr[Victim] = FillReady;
+  FlagsArr[Victim] =
+      static_cast<uint8_t>(Prefetched ? kPrefetched | kUntouched : 0);
+  LastUseArr[Victim] = ++UseClock;
 }
 
 uint64_t Cache::invalidateRange(Addr Lo, Addr Hi) {
   uint64_t Evicted = 0;
-  for (SetState &S : SetArray) {
-    for (Line &L : S.Ways) {
-      if (!L.Valid)
-        continue;
-      Addr First = L.Tag * Config.LineSize;
-      Addr Last = First + Config.LineSize - 1;
-      if (First <= Hi && Last >= Lo) {
-        L.Valid = false;
-        ++Evicted;
-      }
+  const size_t NumLines = TagsArr.size();
+  for (size_t I = 0; I < NumLines; ++I) {
+    if (TagsArr[I] == kNoTag)
+      continue;
+    Addr First = TagsArr[I] * Config.LineSize;
+    Addr Last = First + Config.LineSize - 1;
+    if (First <= Hi && Last >= Lo) {
+      TagsArr[I] = kNoTag;
+      ++Evicted;
     }
   }
   return Evicted;
 }
 
 void Cache::reset() {
-  for (auto &S : SetArray) {
-    for (Line &L : S.Ways)
-      L = Line();
-    for (unsigned I = 0; I < SetState::VictimDepth; ++I)
-      S.VictimValid[I] = false;
-    S.VictimNext = 0;
-  }
+  std::fill(TagsArr.begin(), TagsArr.end(), kNoTag);
+  std::fill(FillReadyArr.begin(), FillReadyArr.end(), 0);
+  std::fill(LastUseArr.begin(), LastUseArr.end(), 0);
+  std::fill(FlagsArr.begin(), FlagsArr.end(), 0);
+  std::fill(VictimTags.begin(), VictimTags.end(), 0);
+  std::fill(VictimValid.begin(), VictimValid.end(), 0);
+  std::fill(VictimNext.begin(), VictimNext.end(), 0);
   UseClock = 0;
 }

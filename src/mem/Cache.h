@@ -12,6 +12,12 @@
 /// miss on the same tag can be attributed to prefetch pollution ("Miss due
 /// to prefetching").
 ///
+/// Storage is a set-major structure-of-arrays: tags, fill cycles, LRU
+/// stamps, and the per-line flag bits each live in one contiguous array
+/// indexed by set*Assoc+way, so the per-access way scan walks packed tags
+/// instead of striding over fat Line records. Callers address lines through
+/// opaque indices (\c LineIdx) plus accessors rather than pointers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRIDENT_MEM_CACHE_H
@@ -19,29 +25,22 @@
 
 #include "mem/CacheTypes.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace trident {
 
 class Cache {
 public:
-  struct Line {
-    bool Valid = false;
-    uint64_t Tag = 0;
-    /// Cycle the fill completes; a "present" line may still be in flight.
-    Cycle FillReady = 0;
-    /// Brought in by a (software or hardware) prefetch.
-    bool Prefetched = false;
-    /// Prefetched and not yet demand-touched.
-    bool Untouched = false;
-    /// LRU timestamp.
-    uint64_t LastUse = 0;
-  };
+  /// Opaque dense line handle (set * Assoc + way).
+  using LineIdx = uint32_t;
+  static constexpr LineIdx NoLine = ~static_cast<LineIdx>(0);
 
   /// Result of looking up one line.
   struct LookupResult {
-    Line *L = nullptr;           ///< nullptr on miss.
+    LineIdx Idx = NoLine;          ///< NoLine on miss.
     bool VictimOfPrefetch = false; ///< miss tag matched a prefetch victim.
+    explicit operator bool() const { return Idx != NoLine; }
   };
 
   explicit Cache(const CacheConfig &Config);
@@ -53,14 +52,22 @@ public:
   /// fill (and consumes that victim record).
   LookupResult lookup(Addr LineAddr);
 
-  /// Looks up without changing LRU or victim-buffer state.
-  const Line *peek(Addr LineAddr) const;
+  /// Looks up without changing LRU or victim-buffer state. NoLine on miss.
+  LineIdx peek(Addr LineAddr) const;
 
   /// Inserts \p LineAddr, evicting the LRU way. \p FillReady is when the
   /// data arrives; \p Prefetched tags prefetch-initiated fills. If the
   /// insertion displaces a valid demand-touched line *because of a
   /// prefetch*, the victim tag is remembered for pollution attribution.
   void insert(Addr LineAddr, Cycle FillReady, bool Prefetched);
+
+  /// Per-line state accessors for a handle returned by lookup()/peek().
+  Cycle fillReady(LineIdx I) const { return FillReadyArr[I]; }
+  bool prefetched(LineIdx I) const { return (FlagsArr[I] & kPrefetched) != 0; }
+  bool untouched(LineIdx I) const { return (FlagsArr[I] & kUntouched) != 0; }
+  void clearUntouched(LineIdx I) {
+    FlagsArr[I] &= static_cast<uint8_t>(~kUntouched);
+  }
 
   /// Invalidates every line (used between experiment phases).
   void reset();
@@ -76,26 +83,43 @@ public:
   uint64_t numSets() const { return Sets; }
 
 private:
-  struct SetState {
-    std::vector<Line> Ways;
-    /// Small FIFO of tags displaced by prefetch fills (pollution tracking).
-    static constexpr unsigned VictimDepth = 4;
-    uint64_t VictimTags[VictimDepth] = {};
-    bool VictimValid[VictimDepth] = {};
-    unsigned VictimNext = 0;
+  /// Tag value marking an invalid line. Validity lives in the tag array
+  /// itself so the per-access way scan touches one array instead of two;
+  /// the sentinel is unreachable for real lines (it would need a byte
+  /// address at the very top of the 64-bit space).
+  static constexpr uint64_t kNoTag = ~static_cast<uint64_t>(0);
 
-    void recordVictim(uint64_t Tag);
-    bool consumeVictim(uint64_t Tag);
-  };
+  /// Per-line flag bits (packed into FlagsArr).
+  static constexpr uint8_t kPrefetched = 1u << 1;
+  static constexpr uint8_t kUntouched = 1u << 2;
 
+  /// Small per-set FIFO of tags displaced by prefetch fills (pollution
+  /// tracking); stored as flat arrays parallel to the set index.
+  static constexpr unsigned VictimDepth = 4;
+
+  void recordVictim(uint64_t Set, uint64_t Tag);
+  bool consumeVictim(uint64_t Set, uint64_t Tag);
+
+  // LineSize is a checked power of two: shift instead of dividing (the
+  // compiler cannot strength-reduce a division by a runtime config field,
+  // and setIndex/tagOf run twice per access).
   uint64_t setIndex(Addr LineAddr) const {
-    return (LineAddr / Config.LineSize) & (Sets - 1);
+    return (LineAddr >> LineShift) & (Sets - 1);
   }
-  uint64_t tagOf(Addr LineAddr) const { return LineAddr / Config.LineSize; }
+  uint64_t tagOf(Addr LineAddr) const { return LineAddr >> LineShift; }
 
   CacheConfig Config;
   uint64_t Sets;
-  std::vector<SetState> SetArray;
+  unsigned LineShift;
+  // Set-major SoA line state: index = set * Assoc + way.
+  std::vector<uint64_t> TagsArr;
+  std::vector<Cycle> FillReadyArr;
+  std::vector<uint64_t> LastUseArr;
+  std::vector<uint8_t> FlagsArr;
+  // Victim-tag FIFOs: index = set * VictimDepth + slot.
+  std::vector<uint64_t> VictimTags;
+  std::vector<uint8_t> VictimValid;
+  std::vector<uint8_t> VictimNext; ///< per-set FIFO cursor.
   uint64_t UseClock = 0;
 };
 

@@ -8,6 +8,27 @@
 
 using namespace trident;
 
+static size_t hashKey(uint64_t Key) {
+  Key *= 0x9E3779B97F4A7C15ull; // Fibonacci hashing; VPNs are near-sequential
+  return static_cast<size_t>(Key ^ (Key >> 29));
+}
+
+DataMemory::DataMemory() {
+  Keys.assign(1024, 0);
+  Slots.assign(1024, nullptr);
+}
+
+const DataMemory::Page *DataMemory::findPage(Addr A) const {
+  const uint64_t Key = (A >> PageBits) + 1;
+  const size_t Mask = Keys.size() - 1;
+  for (size_t I = hashKey(Key) & Mask;; I = (I + 1) & Mask) {
+    if (Keys[I] == Key)
+      return Slots[I];
+    if (Keys[I] == 0)
+      return nullptr;
+  }
+}
+
 uint64_t DataMemory::read64(Addr A) const {
   // Fast path: the access stays within one page.
   size_t Off = A & (PageSize - 1);
@@ -42,11 +63,52 @@ void DataMemory::write64(Addr A, uint64_t Value) {
   }
 }
 
-DataMemory::Page &DataMemory::getOrCreatePage(Addr A) {
-  auto &Slot = Pages[A >> PageBits];
-  if (!Slot) {
-    Slot = std::make_unique<Page>();
-    Slot->fill(0);
+DataMemory::Page *DataMemory::allocPage() {
+  if (SlabUsed == SlabPages) {
+    // make_unique value-initializes the slab, so every page reads as zero.
+    Slabs.push_back(std::make_unique<Page[]>(SlabPages));
+    SlabUsed = 0;
   }
-  return *Slot;
+  return &Slabs.back()[SlabUsed++];
+}
+
+void DataMemory::grow() {
+  std::vector<uint64_t> OldKeys(Keys.size() * 2, 0);
+  std::vector<Page *> OldSlots(Slots.size() * 2, nullptr);
+  OldKeys.swap(Keys);
+  OldSlots.swap(Slots);
+  const size_t Mask = Keys.size() - 1;
+  for (size_t From = 0; From < OldKeys.size(); ++From) {
+    if (OldKeys[From] == 0)
+      continue;
+    size_t I = hashKey(OldKeys[From]) & Mask;
+    while (Keys[I] != 0)
+      I = (I + 1) & Mask;
+    Keys[I] = OldKeys[From];
+    Slots[I] = OldSlots[From];
+  }
+}
+
+DataMemory::Page &DataMemory::getOrCreatePage(Addr A) {
+  const uint64_t Key = (A >> PageBits) + 1;
+  size_t Mask = Keys.size() - 1;
+  size_t I = hashKey(Key) & Mask;
+  while (Keys[I] != 0) {
+    if (Keys[I] == Key)
+      return *Slots[I];
+    I = (I + 1) & Mask;
+  }
+  // Keep the load factor under 3/4 so probe chains stay short.
+  if ((NumPages + 1) * 4 > Keys.size() * 3) {
+    grow();
+    Mask = Keys.size() - 1;
+    I = hashKey(Key) & Mask;
+    while (Keys[I] != 0)
+      I = (I + 1) & Mask;
+  }
+  Page *P = allocPage();
+  Keys[I] = Key;
+  Slots[I] = P;
+  ++NumPages;
+  return *P;
 }

@@ -20,7 +20,7 @@
 #include <array>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 namespace trident {
 
@@ -29,6 +29,8 @@ public:
   static constexpr size_t PageBits = 12;
   static constexpr size_t PageSize = size_t(1) << PageBits;
 
+  DataMemory();
+
   /// Reads a 64-bit little-endian value; unwritten memory reads as zero.
   uint64_t read64(Addr A) const;
 
@@ -36,19 +38,29 @@ public:
   void write64(Addr A, uint64_t Value);
 
   /// Number of materialized 4KB pages (footprint introspection for tests).
-  size_t numPages() const { return Pages.size(); }
+  size_t numPages() const { return NumPages; }
 
 private:
   using Page = std::array<uint8_t, PageSize>;
+  /// Pages per allocation slab (1 MB of data memory).
+  static constexpr size_t SlabPages = 256;
 
-  const Page *findPage(Addr A) const {
-    auto It = Pages.find(A >> PageBits);
-    return It == Pages.end() ? nullptr : It->second.get();
-  }
-
+  const Page *findPage(Addr A) const;
   Page &getOrCreatePage(Addr A);
+  Page *allocPage();
+  void grow();
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  // Open-addressing VPN -> page table with slab-allocated page storage:
+  // a streaming workload materializes pages steadily, and per-page
+  // unordered_map nodes would make the cycle loop allocate. The flat
+  // table probes linearly over packed keys; the allocator is touched
+  // only on a table doubling or a fresh 1 MB slab (both amortized far
+  // below once per measurement window).
+  std::vector<uint64_t> Keys; ///< VPN + 1; 0 marks an empty slot
+  std::vector<Page *> Slots;
+  size_t NumPages = 0;
+  std::vector<std::unique_ptr<Page[]>> Slabs;
+  size_t SlabUsed = SlabPages; ///< forces a slab on first materialization
 };
 
 } // namespace trident

@@ -42,7 +42,10 @@ MemorySystem::MemorySystem(const MemSystemConfig &Cfg)
                 "hierarchy levels must share a line size (L1 %u, L2 %u, L3 %u)",
                 Config.L1.LineSize, Config.L2.LineSize, Config.L3.LineSize);
   if (Config.Tlb.Enable)
-    Dtlb = std::make_unique<Tlb>(Config.Tlb);
+    Dtlb = std::make_unique<Tlb>(Config.Tlb); // trident-lint: alloc-ok(construction)
+  // The MSHR heap never outgrows the configured hardware bound; reserving
+  // it here keeps the per-miss push/pop allocation-free.
+  OutstandingFills.reserve(Config.NumMSHRs);
 }
 
 void MemorySystem::attachPrefetcher(std::unique_ptr<HwPrefetcher> NewPf) {
@@ -91,21 +94,23 @@ Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
   const bool Faulted = FaultActive && LineAddr <= FaultHi &&
                        LineAddr + Config.L1.LineSize - 1 >= FaultLo;
   // L2.
-  if (auto [Line, Victim] = L2.lookup(LineAddr); Line) {
-    Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L2.HitLatency);
+  if (Cache::LookupResult LR = L2.lookup(LineAddr)) {
+    Cycle Ready =
+        std::max<Cycle>(L2.fillReady(LR.Idx), Now + Config.L2.HitLatency);
     if (Faulted)
       Ready += FaultExtraL2;
     if (!isPrefetchKind(Kind))
-      Line->Untouched = false;
+      L2.clearUntouched(LR.Idx);
     return Ready;
   }
   // L3.
-  if (auto [Line, Victim] = L3.lookup(LineAddr); Line) {
-    Cycle Ready = std::max<Cycle>(Line->FillReady, Now + Config.L3.HitLatency);
+  if (Cache::LookupResult LR = L3.lookup(LineAddr)) {
+    Cycle Ready =
+        std::max<Cycle>(L3.fillReady(LR.Idx), Now + Config.L3.HitLatency);
     if (Faulted)
       Ready += FaultExtraL2;
     if (!isPrefetchKind(Kind))
-      Line->Untouched = false;
+      L3.clearUntouched(LR.Idx);
     bool Prefetched = isPrefetchKind(Kind);
     L2.insert(LineAddr, Ready, Prefetched);
     return Ready;
@@ -187,29 +192,31 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   };
 
   // L1 lookup.
-  auto [Line, VictimOfPrefetch] = L1.lookup(LineAddr);
-  if (Line) {
+  Cache::LookupResult L1Hit = L1.lookup(LineAddr);
+  const bool VictimOfPrefetch = L1Hit.VictimOfPrefetch;
+  if (L1Hit) {
+    const Cache::LineIdx Line = L1Hit.Idx;
     Cycle HitReady = Now + Config.L1.HitLatency;
-    if (Line->FillReady <= HitReady) {
+    if (L1.fillReady(Line) <= HitReady) {
       // Data present.
       R.ReadyCycle = HitReady;
       R.Level = 1;
       R.Outcome = LoadOutcome::HitNone;
-      if (DemandLoad && Line->Untouched) {
+      if (DemandLoad && L1.untouched(Line)) {
         R.Outcome = LoadOutcome::HitPrefetched;
-        Line->Untouched = false;
+        L1.clearUntouched(Line);
       } else if (!isPrefetchKind(Kind)) {
-        Line->Untouched = false;
+        L1.clearUntouched(Line);
       }
     } else {
       // Fill still in flight: a partial hit when prefetch-initiated,
       // otherwise an ordinary merged demand miss.
-      R.ReadyCycle = Line->FillReady;
+      R.ReadyCycle = L1.fillReady(Line);
       R.Level = 1;
       R.Outcome =
-          Line->Prefetched ? LoadOutcome::PartialHit : LoadOutcome::Miss;
+          L1.prefetched(Line) ? LoadOutcome::PartialHit : LoadOutcome::Miss;
       if (!isPrefetchKind(Kind)) {
-        Line->Untouched = false;
+        L1.clearUntouched(Line);
         // A partial hit is still an L1 miss: it trains the hardware
         // prefetcher (otherwise software prefetching would starve the
         // stream buffers of training and silently disable them).
@@ -230,9 +237,10 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
       L1.insert(LineAddr, Ready, /*Prefetched=*/true);
       if (DemandLoad) {
         Cache::LookupResult LR = L1.lookup(LineAddr);
-        TRIDENT_DCHECK(LR.L, "line 0x%llx we just inserted must be present",
+        TRIDENT_DCHECK(LR.Idx != Cache::NoLine,
+                       "line 0x%llx we just inserted must be present",
                        (unsigned long long)LineAddr);
-        LR.L->Untouched = false;
+        L1.clearUntouched(LR.Idx);
       }
       R.ReadyCycle = Ready;
       R.Level = 0;
@@ -253,9 +261,10 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   L1.insert(LineAddr, Ready, isPrefetchKind(Kind));
   if (!isPrefetchKind(Kind)) {
     Cache::LookupResult LR = L1.lookup(LineAddr);
-    TRIDENT_DCHECK(LR.L, "line 0x%llx we just inserted must be present",
+    TRIDENT_DCHECK(LR.Idx != Cache::NoLine,
+                   "line 0x%llx we just inserted must be present",
                    (unsigned long long)LineAddr);
-    LR.L->Untouched = false;
+    L1.clearUntouched(LR.Idx);
   }
 
   R.ReadyCycle = Ready;

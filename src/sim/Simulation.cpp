@@ -93,8 +93,12 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     Injector = std::make_unique<FaultInjector>(Config.Faults, Targets);
     Injector->attach(Bus);
   }
+  // The tracer is a passive flight recorder, so it rides the deferred
+  // (batched) dispatch path: the core's hot loop stages a copy per event
+  // and the tracer sees kind-ordered blocks instead of costing a virtual
+  // call inside the issue loop.
   if (Tracer)
-    Bus.subscribe(Tracer, Tracer->mask());
+    Bus.subscribeDeferred(Tracer, Tracer->mask());
 
   Core.startContext(0, Prog.entryPC());
 
@@ -119,6 +123,8 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   Cycle Start = Core.now();
   SmtCore::StopReason Stop = Core.run(Config.SimInstructions);
   Cycle End = Core.now();
+  // Deliver any staged partial block before sinks are read or destroyed.
+  Bus.flush();
   // The measurement window runs strictly forward from the warmed-up state
   // (cycle-counter monotonicity across the warmup/measure boundary).
   TRIDENT_CHECK(End >= Start,

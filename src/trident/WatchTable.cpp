@@ -16,6 +16,9 @@ WatchTable::WatchTable(unsigned NumEntries) {
                 "watch table size %u is implausible for an SRAM structure",
                 NumEntries);
   Entries.resize(NumEntries);
+  ValidKeys.assign(NumEntries, 0);
+  TraceIdKeys.assign(NumEntries, 0);
+  OrigStartKeys.assign(NumEntries, 0);
   LastTouch.assign(NumEntries, 0);
 }
 
@@ -25,7 +28,7 @@ bool WatchTable::insert(uint32_t TraceId, Addr OrigStart, Addr TraceStart,
     return false;
   size_t VictimIdx = 0;
   for (size_t I = 0; I < Entries.size(); ++I) {
-    if (!Entries[I].Valid) {
+    if (!ValidKeys[I]) {
       VictimIdx = I;
       break;
     }
@@ -44,22 +47,27 @@ bool WatchTable::insert(uint32_t TraceId, Addr OrigStart, Addr TraceStart,
   E.OrigStart = OrigStart;
   E.TraceStart = TraceStart;
   E.Length = Length;
+  ValidKeys[VictimIdx] = 1;
+  TraceIdKeys[VictimIdx] = TraceId;
+  OrigStartKeys[VictimIdx] = OrigStart;
   LastTouch[VictimIdx] = ++TouchClock;
   return true;
 }
 
 void WatchTable::remove(uint32_t TraceId) {
-  for (WatchEntry &E : Entries)
-    if (E.Valid && E.TraceId == TraceId)
-      E.Valid = false;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (ValidKeys[I] && TraceIdKeys[I] == TraceId) {
+      ValidKeys[I] = 0;
+      Entries[I].Valid = false;
+    }
+  }
 }
 
 WatchEntry *WatchTable::find(uint32_t TraceId) {
   for (size_t I = 0; I < Entries.size(); ++I) {
-    WatchEntry &E = Entries[I];
-    if (E.Valid && E.TraceId == TraceId) {
+    if (ValidKeys[I] && TraceIdKeys[I] == TraceId) {
       LastTouch[I] = ++TouchClock;
-      return &E;
+      return &Entries[I];
     }
   }
   return nullptr;
@@ -71,10 +79,9 @@ const WatchEntry *WatchTable::find(uint32_t TraceId) const {
 
 WatchEntry *WatchTable::findByOrigStart(Addr OrigStart) {
   for (size_t I = 0; I < Entries.size(); ++I) {
-    WatchEntry &E = Entries[I];
-    if (E.Valid && E.OrigStart == OrigStart) {
+    if (ValidKeys[I] && OrigStartKeys[I] == OrigStart) {
       LastTouch[I] = ++TouchClock;
-      return &E;
+      return &Entries[I];
     }
   }
   return nullptr;
@@ -100,9 +107,10 @@ void WatchTable::recordIteration(uint32_t TraceId, Cycle IterTime) {
 
 unsigned WatchTable::invalidateAll() {
   unsigned N = 0;
-  for (WatchEntry &E : Entries) {
-    if (E.Valid) {
-      E.Valid = false;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (ValidKeys[I]) {
+      ValidKeys[I] = 0;
+      Entries[I].Valid = false;
       ++N;
     }
   }
@@ -111,8 +119,8 @@ unsigned WatchTable::invalidateAll() {
 
 unsigned WatchTable::size() const {
   unsigned N = 0;
-  for (const WatchEntry &E : Entries)
-    N += E.Valid;
+  for (uint8_t V : ValidKeys)
+    N += V;
   return N;
 }
 

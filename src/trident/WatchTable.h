@@ -86,6 +86,15 @@ public:
 
 private:
   std::vector<WatchEntry> Entries;
+  // Packed lookup keys mirroring Entries: find()/findByOrigStart() run a
+  // linear scan per monitored commit, so the keys live in contiguous
+  // arrays instead of striding over the fat WatchEntry records. Only
+  // insert/remove/invalidateAll mutate validity or keys, which keeps the
+  // mirrors in sync (callers mutate payload fields through find()'s
+  // pointer but never the keys).
+  std::vector<uint8_t> ValidKeys;
+  std::vector<uint32_t> TraceIdKeys;
+  std::vector<Addr> OrigStartKeys;
   std::vector<uint64_t> LastTouch;
   uint64_t TouchClock = 0;
 };

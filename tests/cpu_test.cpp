@@ -231,7 +231,8 @@ TEST(SmtCore, StubRunsAtLowPriorityAndCompletes) {
 
   Cycle DoneAt = 0;
   M.Core->startStub(1, /*Instructions=*/500, /*StartupDelay=*/100,
-                    [&](Cycle C) { DoneAt = C; });
+                    {[](void *P, Cycle C) { *static_cast<Cycle *>(P) = C; },
+                     &DoneAt});
   EXPECT_TRUE(M.Core->stubActive(1));
   M.run();
   EXPECT_FALSE(M.Core->stubActive(1));
@@ -251,14 +252,19 @@ TEST(SmtCore, StubChainingFromCompletionCallback) {
   B.halt();
   Machine M(B.finish());
 
-  int Completions = 0;
-  std::function<void(Cycle)> Chain = [&](Cycle) {
-    if (++Completions < 3)
-      M.Core->startStub(1, 100, 0, Chain);
+  struct Chain {
+    SmtCore &Core;
+    int Completions = 0;
+    static void fire(void *P, Cycle) {
+      Chain &S = *static_cast<Chain *>(P);
+      if (++S.Completions < 3)
+        S.Core.startStub(1, 100, 0, {&Chain::fire, P});
+    }
   };
-  M.Core->startStub(1, 100, 0, Chain);
+  Chain C{*M.Core};
+  M.Core->startStub(1, 100, 0, {&Chain::fire, &C});
   M.run();
-  EXPECT_EQ(Completions, 3);
+  EXPECT_EQ(C.Completions, 3);
 }
 
 TEST(SmtCore, BusSeesCommitsLoadsBranches) {

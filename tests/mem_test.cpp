@@ -64,12 +64,12 @@ TEST(Cache, GeometryDerivation) {
 
 TEST(Cache, MissThenHit) {
   Cache C(tinyCache());
-  EXPECT_EQ(C.lookup(0x1000).L, nullptr);
+  EXPECT_FALSE(C.lookup(0x1000));
   C.insert(0x1000, /*FillReady=*/10, /*Prefetched=*/false);
   Cache::LookupResult R = C.lookup(0x1000);
-  ASSERT_NE(R.L, nullptr);
-  EXPECT_EQ(R.L->FillReady, 10u);
-  EXPECT_FALSE(R.L->Prefetched);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(C.fillReady(R.Idx), 10u);
+  EXPECT_FALSE(C.prefetched(R.Idx));
 }
 
 TEST(Cache, LruEviction) {
@@ -79,9 +79,9 @@ TEST(Cache, LruEviction) {
   C.insert(0x0100, 0, false);
   C.lookup(0x0000); // touch A so B becomes LRU
   C.insert(0x0200, 0, false);
-  EXPECT_NE(C.lookup(0x0000).L, nullptr);
-  EXPECT_EQ(C.lookup(0x0100).L, nullptr); // evicted
-  EXPECT_NE(C.lookup(0x0200).L, nullptr);
+  EXPECT_TRUE(C.lookup(0x0000));
+  EXPECT_FALSE(C.lookup(0x0100)); // evicted
+  EXPECT_TRUE(C.lookup(0x0200));
 }
 
 TEST(Cache, PrefetchVictimTagTracking) {
@@ -95,7 +95,7 @@ TEST(Cache, PrefetchVictimTagTracking) {
   C.insert(0x0200, 0, /*Prefetched=*/true);
   // The subsequent miss on 0x0100 is attributable to prefetching.
   Cache::LookupResult R = C.lookup(0x0100);
-  EXPECT_EQ(R.L, nullptr);
+  EXPECT_FALSE(R);
   EXPECT_TRUE(R.VictimOfPrefetch);
   // The victim record is consumed: a second miss is ordinary.
   EXPECT_FALSE(C.lookup(0x0100).VictimOfPrefetch);
@@ -104,17 +104,17 @@ TEST(Cache, PrefetchVictimTagTracking) {
 TEST(Cache, UntouchedBitSemantics) {
   Cache C(tinyCache());
   C.insert(0x1000, 0, /*Prefetched=*/true);
-  const Cache::Line *L = C.peek(0x1000);
-  ASSERT_NE(L, nullptr);
-  EXPECT_TRUE(L->Prefetched);
-  EXPECT_TRUE(L->Untouched);
+  Cache::LineIdx L = C.peek(0x1000);
+  ASSERT_NE(L, Cache::NoLine);
+  EXPECT_TRUE(C.prefetched(L));
+  EXPECT_TRUE(C.untouched(L));
 }
 
 TEST(Cache, ResetInvalidatesEverything) {
   Cache C(tinyCache());
   C.insert(0x1000, 0, false);
   C.reset();
-  EXPECT_EQ(C.lookup(0x1000).L, nullptr);
+  EXPECT_FALSE(C.lookup(0x1000));
 }
 
 TEST(Cache, RefillOfPresentLineKeepsIt) {
@@ -122,8 +122,8 @@ TEST(Cache, RefillOfPresentLineKeepsIt) {
   C.insert(0x1000, 5, false);
   C.insert(0x1000, 99, true); // refresh, not duplicate
   Cache::LookupResult R = C.lookup(0x1000);
-  ASSERT_NE(R.L, nullptr);
-  EXPECT_EQ(R.L->FillReady, 5u); // original fill time retained
+  ASSERT_TRUE(R);
+  EXPECT_EQ(C.fillReady(R.Idx), 5u); // original fill time retained
 }
 
 //===----------------------------------------------------------------------===//

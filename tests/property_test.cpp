@@ -419,7 +419,8 @@ TEST_P(TableEviction, CacheInvalidateRangeEvictsExactlyTheRange) {
   auto countPresent = [&](Addr From, Addr To) {
     uint64_t N = 0;
     for (Addr A = 0; A < Span; A += CC.LineSize)
-      if (A + CC.LineSize - 1 >= From && A <= To && C.peek(A))
+      if (A + CC.LineSize - 1 >= From && A <= To &&
+          C.peek(A) != Cache::NoLine)
         ++N;
     return N;
   };

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""bench_compare: diff two host_throughput scoreboard JSONs, optionally gate.
+
+Compares a baseline BENCH_host_throughput.json against a fresh run and
+prints a delta table. Each input may be either
+
+  * a single run object, as written by bench/host_throughput
+    ({"bench":"host_throughput","serial_ips":...}), or
+  * a trajectory file — {"bench":"host_throughput","runs":[...]} — in
+    which case the LAST entry of "runs" is used (the committed repo-root
+    scoreboard is a trajectory: one entry per landed perf-relevant PR).
+
+With --check-regression PCT the script exits nonzero when the new run's
+median serial_ips falls more than PCT percent below the baseline's. The
+gate reads serial throughput only: the parallel leg's speedup depends on
+how many host cores the runner happens to have, so it is reported but
+never gated.
+
+Usage:
+  tools/bench_compare.py BASELINE.json NEW.json [--check-regression PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_run(path: str) -> dict:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "runs" in doc:
+        runs = doc["runs"]
+        if not runs:
+            raise SystemExit(f"{path}: trajectory file with empty 'runs'")
+        return runs[-1]
+    return doc
+
+
+FIELDS = [
+    ("serial_ips", "serial instr/s", True),
+    ("parallel_ips", "parallel instr/s", True),
+    ("serial_seconds", "serial seconds", False),
+    ("parallel_seconds", "parallel seconds", False),
+    ("speedup", "parallel speedup", True),
+]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed scoreboard JSON")
+    ap.add_argument("new", help="fresh run JSON")
+    ap.add_argument("--check-regression", type=float, metavar="PCT",
+                    default=None,
+                    help="exit 1 if new serial_ips is more than PCT%% "
+                    "below the baseline")
+    args = ap.parse_args()
+
+    old = load_run(args.baseline)
+    new = load_run(args.new)
+
+    if old.get("instr_per_run") != new.get("instr_per_run"):
+        print(f"note: instruction budgets differ "
+              f"({old.get('instr_per_run')} vs {new.get('instr_per_run')}); "
+              "instr/s stays comparable, wall-clock seconds do not")
+
+    print(f"{'metric':<22} {'baseline':>14} {'new':>14} {'delta':>9}")
+    print("-" * 62)
+    for key, label, higher_is_better in FIELDS:
+        if key not in old or key not in new:
+            continue
+        a, b = float(old[key]), float(new[key])
+        delta = 0.0 if a == 0 else (b - a) / a * 100.0
+        arrow = ""
+        if abs(delta) >= 0.05:
+            improved = (delta > 0) == higher_is_better
+            arrow = " (better)" if improved else " (worse)"
+        print(f"{label:<22} {a:>14,.2f} {b:>14,.2f} {delta:>+8.1f}%{arrow}")
+
+    if args.check_regression is not None:
+        limit = args.check_regression
+        a, b = float(old["serial_ips"]), float(new["serial_ips"])
+        loss = 0.0 if a == 0 else (a - b) / a * 100.0
+        if loss > limit:
+            print(f"\nFAIL: serial throughput regressed {loss:.1f}% "
+                  f"(limit {limit:.1f}%): {a:,.0f} -> {b:,.0f} instr/s")
+            return 1
+        print(f"\nOK: serial throughput within budget "
+              f"({loss:+.1f}% loss, limit {limit:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,18 @@ cannot express because they are properties of *this* codebase's contract:
                     "<bad>". Complements -Wswitch: the compiler catches a
                     missing case only until someone adds a default.
 
+  R7 hot-path-alloc Files on the zero-alloc hot path (the per-cycle loop:
+                    SmtCore.cpp, MemorySystem.cpp, Cache.cpp, EventBus.h)
+                    must not heap-allocate: no `new`, no make_unique /
+                    make_shared, no std::function (its capture storage
+                    allocates — use StubCallback or a raw function
+                    pointer), and no push_back/emplace_back on a container
+                    the file never reserve()s/resize()s (growth allocates
+                    mid-cycle). The alloc_count_test asserts the dynamic
+                    property; this rule catches the regression at review
+                    time. Setup-time allocations opt out per line with
+                    `trident-lint: alloc-ok(<reason>)`.
+
 Usage:
   tools/trident_lint.py [--root DIR] [paths...]
 
@@ -114,6 +126,28 @@ ASSERT_ALLOWED = {"src/support/Check.h"}
 # R6 — EventKind enumerators need eventKindName() cases.
 EVENT_ENUM = re.compile(r"\benum\s+class\s+EventKind\b[^{]*\{")
 EVENT_ENUMERATOR = re.compile(r"^\s*(\w+)\s*(?:=[^,}]*)?\s*(?:,|$)")
+
+# R7 — heap allocation on the per-cycle hot path. Scope is an explicit
+# file list: these are the files the zero-alloc contract (alloc_count_test)
+# covers, and widening the list is a deliberate act.
+HOT_ALLOC_FILES = {
+    "src/cpu/SmtCore.cpp",
+    "src/mem/MemorySystem.cpp",
+    "src/mem/Cache.cpp",
+    "src/events/EventBus.h",
+}
+ALLOC_OK = re.compile(r"trident-lint:\s*alloc-ok\(")
+ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w:])new\b"), "operator new on the hot path"),
+    (re.compile(r"\bmake_(unique|shared)\b"),
+     "make_unique/make_shared on the hot path"),
+    (re.compile(r"\bstd::function\b"),
+     "std::function allocates capture storage; use a function pointer "
+     "or StubCallback"),
+]
+PUSH_CALL = re.compile(r"([A-Za-z_]\w*(?:\[[^\]]*\])?(?:(?:\.|->)\w+"
+                       r"(?:\[[^\]]*\])?)*)\s*\.\s*"
+                       r"(push_back|emplace_back)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -242,6 +276,31 @@ def lint_file(path: Path, rel: str, hardware_rules: bool) -> list[Finding]:
                     f"EventKind::{name} has no 'case EventKind::{name}:' "
                     "in eventKindName()'s switch; every event kind needs "
                     "a string-table entry"))
+
+    # R7: heap allocation in hot-path files. The alloc-ok annotation lives
+    # in a trailing comment, so the per-line exemption consults the raw
+    # text; the patterns run on the stripped text as usual.
+    if rel in HOT_ALLOC_FILES:
+        raw_lines = text.splitlines()
+        for lineno, line in enumerate(stripped.splitlines(), start=1):
+            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if ALLOC_OK.search(raw):
+                continue
+            for pat, msg in ALLOC_PATTERNS:
+                if pat.search(line):
+                    findings.append(
+                        Finding(rel, lineno, "hot-path-alloc", msg))
+            for m in PUSH_CALL.finditer(line):
+                base = re.escape(re.sub(r"\[[^\]]*\]", "", m.group(1)))
+                if re.search(base + r"\s*\.\s*(reserve|resize)\s*\(",
+                             stripped):
+                    continue
+                findings.append(Finding(
+                    rel, lineno, "hot-path-alloc",
+                    f"{m.group(2)} on '{m.group(1)}' which this file "
+                    "never reserve()s/resize()s — growth allocates "
+                    "mid-cycle; pre-size it or annotate the line "
+                    "'trident-lint: alloc-ok(<reason>)'"))
 
     return findings
 
