@@ -25,6 +25,8 @@
 namespace trident {
 
 /// Common interface so the core can swap predictors.
+/// trident-analyze: not-a-hw-table(abstract interface; the concrete
+/// predictors below own the bounded counter tables)
 class BranchPredictor {
 public:
   virtual ~BranchPredictor();

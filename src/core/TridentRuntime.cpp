@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TridentRuntime.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "support/Check.h"
 
 #include <algorithm>

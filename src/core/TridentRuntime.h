@@ -114,6 +114,8 @@ struct RuntimeStats {
   uint64_t EventsDropped = 0;
   uint64_t PrefetchInstructionsPlanned = 0;
   /// Distance set by the most recent repair (diagnostic).
+  /// trident-analyze: unregistered-ok(last-value gauge, not a counter;
+  /// exporting it would churn the golden JSONL on every repair)
   int LastRepairDistance = 0;
 
   // Figure 4: load-miss coverage.

@@ -7,7 +7,7 @@
 #include "faults/FaultInjector.h"
 
 #include "core/TridentRuntime.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "mem/MemorySystem.h"
 #include "support/Check.h"
 

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "hwpf/StreamBuffer.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 
 #include <cstdio>
 #include <cstdlib>

@@ -10,7 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "mem/MemorySystem.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "support/Check.h"
 
 #include <algorithm>

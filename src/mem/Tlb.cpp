@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "mem/Tlb.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "support/Check.h"
 
 

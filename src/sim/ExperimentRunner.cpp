@@ -164,6 +164,7 @@ namespace {
 
 struct ResultCache {
   std::mutex Mu;
+  // trident-analyze: guarded-by(Mu)
   std::unordered_map<std::string, std::shared_ptr<const SimResult>> Map;
 
   static ResultCache &instance() {

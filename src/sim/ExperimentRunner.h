@@ -136,9 +136,13 @@ private:
   std::mutex Mu;
   std::condition_variable WorkAvailable;
   std::condition_variable BatchDone;
+  // trident-analyze: guarded-by(Mu)
   std::vector<std::function<void()>> Tasks;
+  // trident-analyze: guarded-by(Mu)
   size_t NextTask = 0;
+  // trident-analyze: guarded-by(Mu)
   size_t Completed = 0;
+  // trident-analyze: guarded-by(Mu)
   bool ShuttingDown = false;
 
   std::vector<std::thread> Workers;

@@ -19,7 +19,7 @@
 
 #include "core/TridentRuntime.h"
 #include "events/EventTracer.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "faults/FaultInjector.h"
 #include "hwpf/StreamBuffer.h"
 #include "workloads/Workloads.h"

@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -121,6 +121,8 @@ std::string StatRegistry::toJsonl() const {
   // per entry, the JSON scaffolding + name + a 20-digit value, plus up to
   // 21 bytes per histogram bucket.
   size_t Est = 0;
+  // trident-analyze: ordered-ok(commutative integer sum; only the total
+  // matters, and the export below iterates sortedEntries())
   for (const auto &KV : Map)
     Est += KV.second.Name.size() + 72 + KV.second.Buckets.size() * 21;
   Out.reserve(Est);

@@ -21,8 +21,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef TRIDENT_EVENTS_STATREGISTRY_H
-#define TRIDENT_EVENTS_STATREGISTRY_H
+#ifndef TRIDENT_SUPPORT_STATREGISTRY_H
+#define TRIDENT_SUPPORT_STATREGISTRY_H
 
 #include "support/Statistics.h"
 
@@ -83,4 +83,4 @@ private:
 
 } // namespace trident
 
-#endif // TRIDENT_EVENTS_STATREGISTRY_H
+#endif // TRIDENT_SUPPORT_STATREGISTRY_H

@@ -35,6 +35,8 @@ struct TraceBuilderConfig {
 };
 
 /// Statistics for one optimization pass over a trace body.
+/// trident-analyze: unregistered-ok(per-trace scratch; the runtime folds
+/// total() into runtime.* counters rather than exporting each field)
 struct ClassicalOptStats {
   unsigned RedundantLoadsRemoved = 0;
   unsigned StoreLoadPairsForwarded = 0;

@@ -13,7 +13,7 @@
 #include "events/EventBus.h"
 #include "events/EventQueue.h"
 #include "events/EventTracer.h"
-#include "events/StatRegistry.h"
+#include "support/StatRegistry.h"
 #include "sim/Simulation.h"
 #include "workloads/Workloads.h"
 

@@ -1,0 +1,21 @@
+#ifndef FIX_KINDS_NEG_H
+#define FIX_KINDS_NEG_H
+namespace trident {
+enum class EventKind {
+  Commit = 0x1'000, // it's the common kind, fired per commit
+  LoadOutcome,      // covers what's seen at execute
+  NumKinds,
+};
+inline const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Commit:
+    return "commit";
+  case EventKind::LoadOutcome:
+    return "load_outcome";
+  case EventKind::NumKinds:
+    return "num_kinds";
+  }
+  return "?";
+}
+} // namespace trident
+#endif

@@ -1,0 +1,19 @@
+#ifndef FIX_KINDS_H
+#define FIX_KINDS_H
+namespace trident {
+enum class EventKind {
+  Commit = 0x1'000, // it's the common kind, fired per commit
+  LoadOutcome,      // covers what's seen at execute
+  DanglingKind,
+};
+inline const char *eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Commit:
+    return "commit";
+  case EventKind::LoadOutcome:
+    return "load_outcome";
+  }
+  return "?";
+}
+} // namespace trident
+#endif

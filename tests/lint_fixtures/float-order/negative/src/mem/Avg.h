@@ -1,0 +1,18 @@
+#ifndef FIX_AVG_NEG_H
+#define FIX_AVG_NEG_H
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace trident {
+inline double mean(const std::unordered_map<long, double> &Lat) {
+  std::vector<double> Vals;
+  for (const auto &KV : Lat)
+    Vals.push_back(KV.second);
+  std::sort(Vals.begin(), Vals.end());
+  double Sum = 0.0;
+  for (double V : Vals)
+    Sum += V;
+  return Vals.empty() ? 0.0 : Sum / static_cast<double>(Vals.size());
+}
+} // namespace trident
+#endif

@@ -1,0 +1,13 @@
+#ifndef FIX_AVG_H
+#define FIX_AVG_H
+#include <unordered_map>
+namespace trident {
+inline double mean(const std::unordered_map<long, double> &Lat) {
+  double Sum = 0.0;
+  // trident-analyze: ordered-ok(claimed commutative, but FP is not)
+  for (const auto &KV : Lat)
+    Sum += KV.second;
+  return Lat.empty() ? 0.0 : Sum / static_cast<double>(Lat.size());
+}
+} // namespace trident
+#endif

@@ -1,0 +1,8 @@
+#include <vector>
+namespace trident {
+void fill(std::vector<int> &Out) {
+  Out.reserve(8);
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(I);
+}
+} // namespace trident

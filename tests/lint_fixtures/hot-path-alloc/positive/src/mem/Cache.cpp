@@ -1,0 +1,3 @@
+namespace trident {
+int *leak() { return new int(7); }
+} // namespace trident

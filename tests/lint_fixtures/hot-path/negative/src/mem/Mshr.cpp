@@ -1,0 +1,9 @@
+// trident-lint: hot-path
+#include <vector>
+namespace trident {
+void retire(std::vector<int> &Heap) {
+  // Bounded min-heap pop: O(log n), no container scan.
+  if (!Heap.empty())
+    Heap.pop_back();
+}
+} // namespace trident

@@ -1,0 +1,8 @@
+// trident-lint: hot-path
+#include <algorithm>
+#include <vector>
+namespace trident {
+void retire(std::vector<int> &Pending, int Id) {
+  std::erase_if(Pending, [Id](int P) { return P == Id; });
+}
+} // namespace trident

@@ -1,0 +1,9 @@
+#ifndef FIX_RECORD_H
+#define FIX_RECORD_H
+#include "mem/Line.h"
+namespace trident {
+struct Record {
+  Line L;
+};
+} // namespace trident
+#endif

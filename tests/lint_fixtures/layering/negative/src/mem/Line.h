@@ -1,0 +1,7 @@
+#ifndef FIX_LINE_H
+#define FIX_LINE_H
+#include "support/Base.h"
+namespace trident {
+struct Line : Base {};
+} // namespace trident
+#endif

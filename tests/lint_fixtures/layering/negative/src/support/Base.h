@@ -1,0 +1,6 @@
+#ifndef FIX_BASE_H
+#define FIX_BASE_H
+namespace trident {
+struct Base {};
+} // namespace trident
+#endif

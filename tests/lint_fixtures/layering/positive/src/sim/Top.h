@@ -1,0 +1,6 @@
+#ifndef FIX_TOP_H
+#define FIX_TOP_H
+namespace trident {
+struct Top {};
+} // namespace trident
+#endif

@@ -1,0 +1,9 @@
+#ifndef FIX_HELPER_H
+#define FIX_HELPER_H
+#include "sim/Top.h"
+namespace trident {
+struct Helper {
+  Top T;
+};
+} // namespace trident
+#endif

@@ -1,0 +1,24 @@
+#ifndef FIX_POOL_NEG_H
+#define FIX_POOL_NEG_H
+#include <mutex>
+#include <vector>
+namespace trident {
+class Pool {
+public:
+  void add(int T) {
+    std::lock_guard<std::mutex> L(Mu);
+    Pending.push_back(T);
+  }
+  std::size_t size() {
+    Mu.lock();
+    std::size_t N = Pending.size();
+    Mu.unlock();
+    return N;
+  }
+private:
+  std::mutex Mu;
+  // trident-analyze: guarded-by(Mu)
+  std::vector<int> Pending;
+};
+} // namespace trident
+#endif

@@ -1,0 +1,15 @@
+#ifndef FIX_POOL_H
+#define FIX_POOL_H
+#include <mutex>
+#include <vector>
+namespace trident {
+class Pool {
+public:
+  void add(int T) { Pending.push_back(T); }
+private:
+  std::mutex Mu;
+  // trident-analyze: guarded-by(Mu)
+  std::vector<int> Pending;
+};
+} // namespace trident
+#endif

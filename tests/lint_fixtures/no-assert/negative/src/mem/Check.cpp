@@ -1,0 +1,4 @@
+namespace trident {
+static_assert(sizeof(int) == 4, "ILP32/LP64 only");
+void f(int X) { (void)X; }
+} // namespace trident

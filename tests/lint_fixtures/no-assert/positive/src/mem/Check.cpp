@@ -1,0 +1,4 @@
+#include <cassert>
+namespace trident {
+void f(int X) { assert(X > 0); }
+} // namespace trident

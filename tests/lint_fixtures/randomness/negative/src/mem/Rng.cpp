@@ -1,0 +1,8 @@
+namespace trident {
+// SplitMix64, the one sanctioned generator: explicitly seeded, stateless.
+unsigned long splitmix(unsigned long &State) {
+  unsigned long Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return Z ^ (Z >> 27);
+}
+} // namespace trident

@@ -1,0 +1,7 @@
+#include <random>
+namespace trident {
+int roll() {
+  std::mt19937 Gen(42);
+  return static_cast<int>(Gen());
+}
+} // namespace trident

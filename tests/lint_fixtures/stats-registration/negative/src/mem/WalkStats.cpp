@@ -1,0 +1,11 @@
+#include "mem/WalkStats.h"
+namespace trident {
+class StatRegistry {
+public:
+  void setCounter(const char *, uint64_t);
+};
+void WalkStats::registerInto(StatRegistry &R) const {
+  R.setCounter("mem.walks", Walks);
+  R.setCounter("mem.faults", Faults);
+}
+} // namespace trident

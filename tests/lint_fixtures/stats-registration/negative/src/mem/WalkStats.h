@@ -1,0 +1,14 @@
+#ifndef FIX_WALKSTATS_NEG_H
+#define FIX_WALKSTATS_NEG_H
+#include <cstdint>
+namespace trident {
+class StatRegistry;
+struct WalkStats {
+  uint64_t Walks = 0;
+  uint64_t Faults = 0;
+  // trident-analyze: unregistered-ok(debug-only scratch gauge)
+  uint64_t LastWalkCycles = 0;
+  void registerInto(StatRegistry &R) const;
+};
+} // namespace trident
+#endif

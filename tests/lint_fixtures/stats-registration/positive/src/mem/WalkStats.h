@@ -1,0 +1,12 @@
+#ifndef FIX_WALKSTATS_H
+#define FIX_WALKSTATS_H
+#include <cstdint>
+namespace trident {
+class StatRegistry;
+struct WalkStats {
+  uint64_t Walks = 0;
+  uint64_t Faults = 0;
+  void registerInto(StatRegistry &R) const;
+};
+} // namespace trident
+#endif

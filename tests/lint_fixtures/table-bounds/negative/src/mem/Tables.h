@@ -1,0 +1,21 @@
+#ifndef FIX_TABLES_NEG_H
+#define FIX_TABLES_NEG_H
+#include <vector>
+namespace trident {
+struct VictimConfig {
+  unsigned NumEntries = 16;
+};
+// Bounded one indirection away, through its config struct.
+class VictimCache {
+public:
+  explicit VictimCache(const VictimConfig &Config);
+private:
+  std::vector<int> Lines;
+};
+// Bounded directly.
+class HistoryBuffer {
+  unsigned MaxLength = 64;
+  std::vector<int> Ring;
+};
+} // namespace trident
+#endif

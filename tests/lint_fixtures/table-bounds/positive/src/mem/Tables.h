@@ -1,0 +1,15 @@
+#ifndef FIX_TABLES_H
+#define FIX_TABLES_H
+#include <vector>
+namespace trident {
+// trident-analyze: not-a-hw-table(host-side bookkeeping, grows with input)
+class AnnotatedTable {
+  std::vector<int> Rows;
+};
+// Unbounded and unannotated: must be flagged even though the class above
+// carries an annotation (the PR-2 linter matched annotations file-wide).
+class LeakyTable {
+  std::vector<int> Rows;
+};
+} // namespace trident
+#endif

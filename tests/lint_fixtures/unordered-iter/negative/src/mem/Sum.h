@@ -1,0 +1,24 @@
+#ifndef FIX_SUM_NEG_H
+#define FIX_SUM_NEG_H
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace trident {
+// Sanctioned shape 1: the loop only feeds a vector that is then sorted.
+inline std::vector<long> keys(const std::unordered_map<long, long> &Counts) {
+  std::vector<long> Out;
+  for (const auto &KV : Counts)
+    Out.push_back(KV.first);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+// Sanctioned shape 2: an order-insensitive fold, annotated as such.
+inline long total(const std::unordered_map<long, long> &Counts) {
+  long Total = 0;
+  // trident-analyze: ordered-ok(commutative integer sum)
+  for (const auto &KV : Counts)
+    Total += KV.second;
+  return Total;
+}
+} // namespace trident
+#endif

@@ -1,0 +1,12 @@
+#ifndef FIX_SUM_H
+#define FIX_SUM_H
+#include <unordered_map>
+namespace trident {
+inline long total(const std::unordered_map<long, long> &Counts) {
+  long Total = 0;
+  for (const auto &KV : Counts)
+    Total += KV.second;
+  return Total;
+}
+} // namespace trident
+#endif

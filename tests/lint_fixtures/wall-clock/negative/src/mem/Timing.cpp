@@ -1,0 +1,4 @@
+namespace trident {
+// Simulated time only: cycles advance with the core model, never the host.
+unsigned long simNow(unsigned long Cycle) { return Cycle; }
+} // namespace trident

@@ -1,0 +1,6 @@
+#include <chrono>
+namespace trident {
+unsigned long hostNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+} // namespace trident

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fixture self-test for tools/trident_analyze.py.
+
+Each directory under tests/lint_fixtures/<rule>/<positive|negative>/ is a
+miniature repo root (its own src/, optionally its own tools/layering.json)
+plus an expected.txt listing the findings the engine must produce there,
+one per line, as:
+
+    <rule-id> <repo-relative-path>
+
+(an empty or absent expected.txt means the fixture must analyze clean).
+The runner executes the engine with --root <case> --no-cache and compares
+the *set* of (rule, file) pairs — line numbers and message wording are
+free to evolve; the rule firing (or staying silent) is the contract.
+
+Positive fixtures prove a rule still fires; negative fixtures prove its
+suppressions (annotations, sort-sinks, config-indirected bounds, allowed
+layering edges) still hold. ctest runs this as analyze_fixture_test.
+
+Exit: 0 when every case matches, 1 otherwise (with a per-case diff).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FINDING = re.compile(r"^(?P<rel>[^:]+):(?P<line>\d+): \[(?P<rule>[\w-]+)\] ")
+
+
+def run_case(engine: Path, case: Path) -> list:
+    """Returns a list of mismatch strings (empty = pass)."""
+    expected = set()
+    exp_file = case / "expected.txt"
+    if exp_file.is_file():
+        for raw in exp_file.read_text().splitlines():
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            rule, rel = raw.split()
+            expected.add((rule, rel))
+    proc = subprocess.run(
+        [sys.executable, str(engine), "--root", str(case), "--no-cache"],
+        capture_output=True, text=True)
+    actual = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if m:
+            actual.add((m.group("rule"), m.group("rel")))
+    errors = []
+    for miss in sorted(expected - actual):
+        errors.append(f"expected finding did not fire: [{miss[0]}] {miss[1]}")
+    for extra in sorted(actual - expected):
+        errors.append(f"unexpected finding: [{extra[0]}] {extra[1]}")
+    want_rc = 1 if expected else 0
+    if not errors and proc.returncode != want_rc:
+        errors.append(f"exit code {proc.returncode}, expected {want_rc}")
+    if proc.returncode not in (0, 1):
+        errors.append(f"engine crashed (rc={proc.returncode}): "
+                      f"{proc.stderr.strip()[:400]}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    engine = root / "tools" / "trident_analyze.py"
+    corpus = root / "tests" / "lint_fixtures"
+    cases = sorted(p for p in corpus.glob("*/*") if p.is_dir())
+    if not cases:
+        print(f"no fixture cases under {corpus}", file=sys.stderr)
+        return 1
+    failed = 0
+    for case in cases:
+        errors = run_case(engine, case)
+        tag = case.relative_to(corpus)
+        if errors:
+            failed += 1
+            print(f"FAIL {tag}")
+            for e in errors:
+                print(f"     {e}")
+        else:
+            print(f"ok   {tag}")
+    # Every rule the engine ships must have at least one positive and one
+    # negative fixture — a new rule without coverage fails the suite.
+    list_rules = subprocess.run(
+        [sys.executable, str(engine), "--list-rules"],
+        capture_output=True, text=True)
+    for line in list_rules.stdout.splitlines():
+        rid = line.split()[0]
+        for kind in ("positive", "negative"):
+            if not (corpus / rid / kind).is_dir():
+                failed += 1
+                print(f"FAIL {rid}: missing {kind} fixture directory")
+    if failed:
+        print(f"{failed} fixture case(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(cases)} fixture cases passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,357 +1,30 @@
 #!/usr/bin/env python3
-"""trident-lint: repo-specific static analysis for the Trident-SRP simulator.
+"""trident-lint: compatibility shim over tools/trident_analyze.py.
 
-Enforces invariants that generic tools (clang-tidy, compiler warnings)
-cannot express because they are properties of *this* codebase's contract:
+The regex linter from PR 2 was absorbed into the semantic analyzer
+(PR 7); this entry point survives so existing muscle memory, docs, and
+CI invocations keep working. It runs the engine with the legacy rule set
+(wall-clock, randomness, hot-path, table-bounds, no-assert, event-names,
+hot-path-alloc) and the same CLI surface:
 
-  R1 wall-clock     No wall-clock time sources in simulator code
-                    (<chrono>, time(), clock(), gettimeofday, ...).
-                    Simulated time is the only clock; host time anywhere in
-                    the simulation path makes runs non-reproducible and
-                    breaks the ExperimentRunner memo cache's assumption
-                    that (workload, config) determines the result.
-                    Exempt: bench/host_throughput.cpp (its entire purpose
-                    is measuring host wall-clock throughput).
-
-  R2 randomness     No unseeded/global randomness (std::random_device,
-                    rand(), srand(), std::mt19937, drand48...). The one
-                    sanctioned RNG is support/Random.h's SplitMix64,
-                    explicitly seeded per generator, so every experiment
-                    is bit-reproducible across machines and runs.
-
-  R3 hot-path       Files annotated `trident-lint: hot-path` must not
-                    use O(n) erase/scan idioms (std::erase_if, the
-                    remove-erase idiom, std::remove_if). PR 1 rewrote the
-                    MSHR bookkeeping from exactly such a scan into a
-                    bounded min-heap; this rule keeps the regression out.
-
-  R4 table-bounds   Every hardware-table-like class (name ending in
-                    Table/Cache/Buffer/Tlb/Predictor/Profiler) must
-                    declare a capacity bound (NumEntries / SizeBytes /
-                    capacity()). The paper's structures are all fixed-size
-                    SRAM tables (Table 2); an unbounded std::map posing as
-                    hardware state is a modeling bug. Non-hardware
-                    containers opt out with an explicit
-                    `trident-lint: not-a-hw-table(<reason>)` annotation.
-
-  R5 no-assert      No bare assert() outside support/Check.h (and no
-                    <cassert>/<assert.h> includes). Invariants go through
-                    TRIDENT_CHECK/TRIDENT_DCHECK, which carry formatted
-                    context and honor the build-flavor matrix.
-                    static_assert is fine.
-
-  R6 event-names    Every enumerator of `enum class EventKind` must have a
-                    matching `case EventKind::X:` in the file that defines
-                    the enum — the eventKindName() string table is what the
-                    trace exporter and the events.published.* stat names
-                    are built from, so an unnamed kind silently exports as
-                    "<bad>". Complements -Wswitch: the compiler catches a
-                    missing case only until someone adds a default.
-
-  R7 hot-path-alloc Files on the zero-alloc hot path (the per-cycle loop:
-                    SmtCore.cpp, MemorySystem.cpp, Cache.cpp, EventBus.h)
-                    must not heap-allocate: no `new`, no make_unique /
-                    make_shared, no std::function (its capture storage
-                    allocates — use StubCallback or a raw function
-                    pointer), and no push_back/emplace_back on a container
-                    the file never reserve()s/resize()s (growth allocates
-                    mid-cycle). The alloc_count_test asserts the dynamic
-                    property; this rule catches the regression at review
-                    time. Setup-time allocations opt out per line with
-                    `trident-lint: alloc-ok(<reason>)`.
-
-Usage:
   tools/trident_lint.py [--root DIR] [paths...]
 
-With no paths, lints the default scope: src/ (all rules), plus bench/,
-tools/, examples/ (R1/R2 only — harness code may not add nondeterminism
-either, but is not hardware modeling). Exits nonzero on any finding.
+Anything beyond that — the determinism/layering/lock rules, SARIF
+output, --diff gating, the suppression baseline — lives on the engine:
+
+  tools/trident_analyze.py --help
 """
 
-from __future__ import annotations
-
-import argparse
-import re
+import subprocess
 import sys
 from pathlib import Path
 
-CPP_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
-
-# R1 — wall-clock sources. Matched against comment/string-stripped text.
-WALLCLOCK_PATTERNS = [
-    (re.compile(r"#\s*include\s*<(chrono|ctime|sys/time\.h|time\.h)>"),
-     "includes a wall-clock header"),
-    (re.compile(r"\bstd::chrono\b"), "uses std::chrono"),
-    (re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b"),
-     "uses a host clock type"),
-    (re.compile(r"(?<![\w:.])(time|clock|gettimeofday|clock_gettime)\s*\("),
-     "calls a wall-clock function"),
-]
-WALLCLOCK_EXEMPT = {"bench/host_throughput.cpp"}
-
-# R2 — nondeterministic randomness sources.
-RANDOMNESS_PATTERNS = [
-    (re.compile(r"\bstd::random_device\b"), "uses std::random_device"),
-    (re.compile(r"(?<![\w:.])s?rand\s*\("), "calls rand()/srand()"),
-    (re.compile(r"\bmt19937(_64)?\b"), "uses std::mt19937 (use SplitMix64)"),
-    (re.compile(r"\b(drand48|lrand48|random)\s*\(\s*\)"),
-     "calls a libc RNG"),
-]
-
-# R3 — O(n) erase/scan idioms forbidden in hot-path files.
-HOTPATH_MARKER = re.compile(r"trident-lint:\s*hot-path")
-HOTPATH_PATTERNS = [
-    (re.compile(r"\bstd::erase_if\b"), "std::erase_if is an O(n) scan"),
-    (re.compile(r"\.erase\s*\(\s*std::remove"),
-     "remove-erase idiom is an O(n) scan"),
-    (re.compile(r"\bstd::remove_if\b"), "std::remove_if is an O(n) scan"),
-    (re.compile(r"\bstd::find_if\s*\(\s*\w+\.begin\(\)"),
-     "linear std::find_if scan over a container"),
-]
-
-# R4 — hardware-table-like classes must declare a capacity bound.
-TABLE_CLASS = re.compile(
-    r"^\s*(?:class|struct)\s+(\w*(?:Table|Cache|Buffer|Tlb|Predictor|"
-    r"Profiler))\b[^;]*$")
-BOUND_TOKENS = re.compile(
-    r"(NumEntries|SizeBytes|MaxEntries|MaxLength|[Cc]apacity|NumStreams|"
-    r"[Dd]epth\b)")
-NOT_HW_TABLE = re.compile(r"trident-lint:\s*not-a-hw-table\(")
-
-# R5 — bare assert().
-ASSERT_CALL = re.compile(r"(?<![\w.])assert\s*\(")
-ASSERT_INCLUDE = re.compile(r"#\s*include\s*<(cassert|assert\.h)>")
-ASSERT_ALLOWED = {"src/support/Check.h"}
-
-# R6 — EventKind enumerators need eventKindName() cases.
-EVENT_ENUM = re.compile(r"\benum\s+class\s+EventKind\b[^{]*\{")
-EVENT_ENUMERATOR = re.compile(r"^\s*(\w+)\s*(?:=[^,}]*)?\s*(?:,|$)")
-
-# R7 — heap allocation on the per-cycle hot path. Scope is an explicit
-# file list: these are the files the zero-alloc contract (alloc_count_test)
-# covers, and widening the list is a deliberate act.
-HOT_ALLOC_FILES = {
-    "src/cpu/SmtCore.cpp",
-    "src/mem/MemorySystem.cpp",
-    "src/mem/Cache.cpp",
-    "src/events/EventBus.h",
-}
-ALLOC_OK = re.compile(r"trident-lint:\s*alloc-ok\(")
-ALLOC_PATTERNS = [
-    (re.compile(r"(?<![\w:])new\b"), "operator new on the hot path"),
-    (re.compile(r"\bmake_(unique|shared)\b"),
-     "make_unique/make_shared on the hot path"),
-    (re.compile(r"\bstd::function\b"),
-     "std::function allocates capture storage; use a function pointer "
-     "or StubCallback"),
-]
-PUSH_CALL = re.compile(r"([A-Za-z_]\w*(?:\[[^\]]*\])?(?:(?:\.|->)\w+"
-                       r"(?:\[[^\]]*\])?)*)\s*\.\s*"
-                       r"(push_back|emplace_back)\s*\(")
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Replaces comments and string/char literals with spaces, preserving
-    line structure so finding line numbers still works."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("".join(ch if ch == "\n" else " "
-                               for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(" " * (j - i))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def match_lines(stripped: str, patterns, rule: str, rel: str, findings):
-    for lineno, line in enumerate(stripped.splitlines(), start=1):
-        for pat, msg in patterns:
-            if pat.search(line):
-                findings.append(Finding(rel, lineno, rule, msg))
-
-
-def lint_file(path: Path, rel: str, hardware_rules: bool) -> list[Finding]:
-    findings: list[Finding] = []
-    text = path.read_text(encoding="utf-8", errors="replace")
-    stripped = strip_comments_and_strings(text)
-
-    # R1: wall-clock (raw text for the include, stripped for the rest).
-    if rel not in WALLCLOCK_EXEMPT:
-        match_lines(stripped, WALLCLOCK_PATTERNS, "wall-clock", rel, findings)
-
-    # R2: randomness.
-    match_lines(stripped, RANDOMNESS_PATTERNS, "randomness", rel, findings)
-
-    if not hardware_rules:
-        return findings
-
-    # R3: hot-path erase scans (marker searched in the raw text — it lives
-    # in a comment by design).
-    if HOTPATH_MARKER.search(text):
-        match_lines(stripped, HOTPATH_PATTERNS, "hot-path", rel, findings)
-
-    # R4: capacity bounds for table-like classes (headers only: that is
-    # where hardware structures are declared).
-    if path.suffix in {".h", ".hpp"}:
-        for lineno, line in enumerate(stripped.splitlines(), start=1):
-            m = TABLE_CLASS.match(line)
-            if not m:
-                continue
-            # Forward declarations and base-class mentions are not
-            # definitions; require an opening brace on this line or the
-            # next non-empty one.
-            rest = stripped.splitlines()[lineno - 1:lineno + 1]
-            if not any("{" in r for r in rest):
-                continue
-            if NOT_HW_TABLE.search(text):
-                continue
-            if not BOUND_TOKENS.search(stripped):
-                findings.append(Finding(
-                    rel, lineno, "table-bounds",
-                    f"hardware table class '{m.group(1)}' declares no "
-                    "capacity bound (NumEntries/SizeBytes/capacity); "
-                    "annotate 'trident-lint: not-a-hw-table(<reason>)' "
-                    "if it is not modeling a hardware structure"))
-
-    # R5: bare assert().
-    if rel not in ASSERT_ALLOWED:
-        for lineno, line in enumerate(stripped.splitlines(), start=1):
-            if ASSERT_CALL.search(line) and "static_assert" not in line:
-                findings.append(Finding(
-                    rel, lineno, "no-assert",
-                    "bare assert(); use TRIDENT_CHECK/TRIDENT_DCHECK "
-                    "from support/Check.h"))
-            if ASSERT_INCLUDE.search(line):
-                findings.append(Finding(
-                    rel, lineno, "no-assert",
-                    "<cassert> include; use support/Check.h"))
-
-    # R6: every EventKind enumerator has a name-table case in the defining
-    # file. Works on the stripped text so commented-out enumerators don't
-    # count, and line numbers point at the enum definition.
-    m = EVENT_ENUM.search(stripped)
-    if m:
-        body_start = stripped.index("{", m.start()) + 1
-        body_end = stripped.find("}", body_start)
-        body = stripped[body_start:body_end if body_end >= 0 else None]
-        enum_line = stripped.count("\n", 0, m.start()) + 1
-        for raw in body.split(","):
-            name = raw.strip()
-            if "=" in name:
-                name = name.split("=")[0].strip()
-            if not name or not name.isidentifier():
-                continue
-            if not re.search(r"\bcase\s+EventKind\s*::\s*" + name + r"\s*:",
-                             stripped):
-                findings.append(Finding(
-                    rel, enum_line, "event-names",
-                    f"EventKind::{name} has no 'case EventKind::{name}:' "
-                    "in eventKindName()'s switch; every event kind needs "
-                    "a string-table entry"))
-
-    # R7: heap allocation in hot-path files. The alloc-ok annotation lives
-    # in a trailing comment, so the per-line exemption consults the raw
-    # text; the patterns run on the stripped text as usual.
-    if rel in HOT_ALLOC_FILES:
-        raw_lines = text.splitlines()
-        for lineno, line in enumerate(stripped.splitlines(), start=1):
-            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-            if ALLOC_OK.search(raw):
-                continue
-            for pat, msg in ALLOC_PATTERNS:
-                if pat.search(line):
-                    findings.append(
-                        Finding(rel, lineno, "hot-path-alloc", msg))
-            for m in PUSH_CALL.finditer(line):
-                base = re.escape(re.sub(r"\[[^\]]*\]", "", m.group(1)))
-                if re.search(base + r"\s*\.\s*(reserve|resize)\s*\(",
-                             stripped):
-                    continue
-                findings.append(Finding(
-                    rel, lineno, "hot-path-alloc",
-                    f"{m.group(2)} on '{m.group(1)}' which this file "
-                    "never reserve()s/resize()s — growth allocates "
-                    "mid-cycle; pre-size it or annotate the line "
-                    "'trident-lint: alloc-ok(<reason>)'"))
-
-    return findings
-
-
-def default_scope(root: Path) -> list[tuple[Path, bool]]:
-    """Returns (path, hardware_rules) pairs for the default lint scope."""
-    files: list[tuple[Path, bool]] = []
-    for sub, hw in (("src", True), ("bench", False), ("tools", False),
-                    ("examples", False)):
-        d = root / sub
-        if not d.is_dir():
-            continue
-        for p in sorted(d.rglob("*")):
-            if p.suffix in CPP_SUFFIXES and p.is_file():
-                files.append((p, hw))
-    return files
-
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=None,
-                    help="repo root (default: parent of this script)")
-    ap.add_argument("paths", nargs="*",
-                    help="specific files to lint (default: full scope)")
-    args = ap.parse_args()
-
-    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
-
-    if args.paths:
-        targets = []
-        for raw in args.paths:
-            p = Path(raw).resolve()
-            rel = p.relative_to(root).as_posix() if p.is_relative_to(root) else raw
-            targets.append((p, rel.startswith("src/")))
-    else:
-        targets = default_scope(root)
-
-    findings: list[Finding] = []
-    checked = 0
-    for path, hw in targets:
-        if path.suffix not in CPP_SUFFIXES or not path.is_file():
-            continue
-        rel = path.relative_to(root).as_posix()
-        findings.extend(lint_file(path, rel, hw))
-        checked += 1
-
-    for f in findings:
-        print(f)
-    print(f"trident-lint: {checked} files checked, {len(findings)} finding(s)",
-          file=sys.stderr)
-    return 1 if findings else 0
+    engine = Path(__file__).resolve().parent / "trident_analyze.py"
+    argv = [sys.executable, str(engine), "--rules", "legacy", "--no-cache"]
+    argv += sys.argv[1:]
+    return subprocess.run(argv).returncode
 
 
 if __name__ == "__main__":
