@@ -25,9 +25,9 @@ int main() {
   std::vector<double> S4, S8;
 
   SimConfig CN = SimConfig::hwBaseline();
-  CN.HwPf = HwPfConfig::None;
+  CN.HwPf = "none";
   SimConfig C4 = SimConfig::hwBaseline();
-  C4.HwPf = HwPfConfig::Sb4x4;
+  C4.HwPf = "sb4x4";
   SimConfig C8 = SimConfig::hwBaseline();
 
   std::vector<NamedJob> Jobs;

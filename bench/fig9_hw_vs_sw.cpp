@@ -1,65 +1,205 @@
-//===- fig9_hw_vs_sw.cpp - Figure 9: software vs hardware prefetching ------===//
+//===- fig9_hw_vs_sw.cpp - Figure 9: the prefetcher-arsenal matrix ---------===//
 //
 // Part of the Trident-SRP reproduction (CGO 2006).
 //
-// Reproduces Figure 9: speedups relative to a machine with *no*
-// prefetching at all, comparing hardware stream buffers alone (8x8),
-// self-repairing software prefetching alone, and the combination. The
-// paper finds software-only beats hardware-only on most benchmarks (~11%
-// more on average) but hardware wins on dot, equake, and swim (simple
-// short strides / low trace coverage), and the combination is best.
+// Reproduces Figure 9 and extends it into an arsenal matrix. The paper
+// compares hardware stream buffers alone (8x8), self-repairing software
+// prefetching alone, and the combination, all relative to a machine with
+// *no* prefetching: software-only beats hardware-only on most benchmarks
+// (~11% more on average) but hardware wins on dot, equake, and swim, and
+// the combination is best.
+//
+// The arsenal matrix generalizes the "hardware" axis: every prefetcher in
+// the registry (stream buffers, enhanced stream, DCPT, T-SKID) runs on
+// every workload with the Trident runtime off and on, each cell emitted
+// as one JSONL record with IPC, speedup over the no-prefetch baseline,
+// and the unit's accuracy/coverage feedback.
+//
+// Environment knobs (on top of the BenchCommon set):
+//   TRIDENT_FIG9_OUT        JSONL output path (default fig9_arsenal.jsonl)
+//   TRIDENT_FIG9_WORKLOADS  comma list restricting the workload axis
+//   TRIDENT_FIG9_HWPF       comma list restricting the prefetcher axis
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "hwpf/PrefetcherRegistry.h"
+
+#include <algorithm>
+#include <map>
 
 using namespace trident;
 using namespace trident::bench;
 
+namespace {
+
+/// Splits a comma-separated env value; empty result means "no filter".
+std::vector<std::string> envList(const char *Name) {
+  std::vector<std::string> Out;
+  const char *E = std::getenv(Name);
+  if (!E || !*E)
+    return Out;
+  std::string S(E);
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Pos)
+      Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+bool contains(const std::vector<std::string> &V, const std::string &S) {
+  return std::find(V.begin(), V.end(), S) != V.end();
+}
+
+void jsonEscapeInto(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+} // namespace
+
 int main() {
-  printHeader("Figure 9", "HW-only vs SW-only vs combined, over no-pf",
+  printHeader("Figure 9", "prefetcher arsenal x workloads x Trident on/off",
               "SW-only beats HW-only on most benchmarks (+11% avg more); "
               "HW-only wins on dot/equake/swim; combination best");
 
-  Table T({"benchmark", "HW only", "SW only", "HW+SW"});
-  std::vector<double> SH, SS, SC;
+  // Axes. "none" is always present: every speedup in this figure is over
+  // the no-prefetch, no-Trident machine.
+  std::vector<std::string> Hwpfs = {"none"};
+  {
+    std::vector<std::string> Filter = envList("TRIDENT_FIG9_HWPF");
+    for (const std::string &N : PrefetcherRegistry::instance().arsenalNames())
+      if (Filter.empty() || contains(Filter, N))
+        Hwpfs.push_back(N);
+  }
+  std::vector<std::string> Loads;
+  {
+    std::vector<std::string> Filter = envList("TRIDENT_FIG9_WORKLOADS");
+    for (const std::string &N : workloadNames())
+      if (Filter.empty() || contains(Filter, N))
+        Loads.push_back(N);
+  }
 
-  SimConfig CN = SimConfig::hwBaseline();
-  CN.HwPf = HwPfConfig::None;
-  SimConfig CSw = SimConfig::withMode(PrefetchMode::SelfRepairing);
-  CSw.HwPf = HwPfConfig::None;
-
+  // One flat batch: workload-major, then Trident off/on, then prefetcher.
+  // The shared memo-cache dedups the overlap with other figures' jobs.
   std::vector<NamedJob> Jobs;
-  for (const std::string &Name : workloadNames()) {
-    Jobs.emplace_back(Name, CN);
-    Jobs.emplace_back(Name, SimConfig::hwBaseline());
-    Jobs.emplace_back(Name, CSw);
-    Jobs.emplace_back(Name, SimConfig::withMode(PrefetchMode::SelfRepairing));
+  for (const std::string &Name : Loads) {
+    for (int Trident = 0; Trident < 2; ++Trident) {
+      for (const std::string &Pf : Hwpfs) {
+        SimConfig C = Trident ? SimConfig::withMode(PrefetchMode::SelfRepairing)
+                              : SimConfig::hwBaseline();
+        C.HwPf = Pf;
+        Jobs.emplace_back(Name, C);
+      }
+    }
   }
   auto Results = runBatch(Jobs);
 
-  for (size_t I = 0; I < workloadNames().size(); ++I) {
-    const std::string &Name = workloadNames()[I];
-    const SimResult &RNone = *Results[4 * I + 0];
-    const SimResult &RHw = *Results[4 * I + 1];
-    const SimResult &RSw = *Results[4 * I + 2];
-    const SimResult &RBoth = *Results[4 * I + 3];
+  const size_t PerLoad = 2 * Hwpfs.size();
+  auto cell = [&](size_t LoadIdx, int Trident, size_t PfIdx) {
+    return Results[LoadIdx * PerLoad + size_t(Trident) * Hwpfs.size() + PfIdx];
+  };
 
-    SH.push_back(speedup(RHw, RNone));
-    SS.push_back(speedup(RSw, RNone));
-    SC.push_back(speedup(RBoth, RNone));
-    T.addRow({Name, pctOver(RHw, RNone), pctOver(RSw, RNone),
-              pctOver(RBoth, RNone)});
+  // JSONL: one record per matrix cell.
+  const char *OutPath = std::getenv("TRIDENT_FIG9_OUT");
+  if (!OutPath || !*OutPath)
+    OutPath = "fig9_arsenal.jsonl";
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath);
+    return 1;
   }
 
-  T.addSeparator();
-  T.addRow({"geo-mean", formatPercent(geometricMean(SH) - 1.0, 1),
-            formatPercent(geometricMean(SS) - 1.0, 1),
-            formatPercent(geometricMean(SC) - 1.0, 1)});
-  std::printf("%s\n", T.render().c_str());
-  std::printf("shape check: hardware should win on the simple-stride and "
-              "low-coverage\nbenchmarks (swim, equake, dot); the "
-              "combination should dominate both.\n");
+  // Per-prefetcher speedup series for the summary table, keyed by
+  // (prefetcher, trident); "none" x trident-on is the SW-only column.
+  std::map<std::pair<std::string, int>, std::vector<double>> Series;
+
+  for (size_t L = 0; L < Loads.size(); ++L) {
+    const SimResult &Base = *cell(L, 0, 0); // none, Trident off
+    for (int Trident = 0; Trident < 2; ++Trident) {
+      for (size_t P = 0; P < Hwpfs.size(); ++P) {
+        const SimResult &R = *cell(L, Trident, P);
+        double Speedup = speedup(R, Base);
+        Series[{Hwpfs[P], Trident}].push_back(Speedup);
+
+        std::string Line = "{\"workload\":\"";
+        jsonEscapeInto(Line, Loads[L]);
+        Line += "\",\"hwpf\":\"";
+        jsonEscapeInto(Line, hwPfConfigName(Hwpfs[P]));
+        Line += "\",\"prefetcher\":\"";
+        jsonEscapeInto(Line, R.HwPf.Prefetcher.empty() ? "none"
+                                                       : R.HwPf.Prefetcher);
+        char Buf[256];
+        std::snprintf(Buf, sizeof(Buf),
+                      "\",\"trident\":%d,\"ipc\":%.6f,"
+                      "\"speedup_over_none\":%.6f,\"hw_prefetches\":%llu,"
+                      "\"pf_issued\":%llu,\"pf_useful\":%llu,"
+                      "\"pf_late\":%llu,\"demand_misses\":%llu,"
+                      "\"accuracy\":%.6f,\"coverage\":%.6f}",
+                      Trident, R.Ipc, Speedup,
+                      (unsigned long long)R.Mem.HardwarePrefetches,
+                      (unsigned long long)R.PfFeedback.Issued,
+                      (unsigned long long)R.PfFeedback.Useful,
+                      (unsigned long long)R.PfFeedback.Late,
+                      (unsigned long long)R.PfFeedback.DemandMisses,
+                      R.PfFeedback.accuracy(), R.PfFeedback.coverage());
+        Line += Buf;
+        std::fprintf(Out, "%s\n", Line.c_str());
+      }
+    }
+  }
+  std::fclose(Out);
+  std::printf("arsenal matrix: %zu cells -> %s\n\n",
+              Loads.size() * PerLoad, OutPath);
+
+  // The paper's classic four-way table, when its configurations survived
+  // the axis filters.
+  if (contains(Hwpfs, "sb8x8")) {
+    size_t Sb = size_t(std::find(Hwpfs.begin(), Hwpfs.end(),
+                                 std::string("sb8x8")) -
+                       Hwpfs.begin());
+    Table T({"benchmark", "HW only", "SW only", "HW+SW"});
+    std::vector<double> SH, SS, SC;
+    for (size_t L = 0; L < Loads.size(); ++L) {
+      const SimResult &RNone = *cell(L, 0, 0);
+      const SimResult &RHw = *cell(L, 0, Sb);
+      const SimResult &RSw = *cell(L, 1, 0);
+      const SimResult &RBoth = *cell(L, 1, Sb);
+      SH.push_back(speedup(RHw, RNone));
+      SS.push_back(speedup(RSw, RNone));
+      SC.push_back(speedup(RBoth, RNone));
+      T.addRow({Loads[L], pctOver(RHw, RNone), pctOver(RSw, RNone),
+                pctOver(RBoth, RNone)});
+    }
+    T.addSeparator();
+    T.addRow({"geo-mean", formatPercent(geometricMean(SH) - 1.0, 1),
+              formatPercent(geometricMean(SS) - 1.0, 1),
+              formatPercent(geometricMean(SC) - 1.0, 1)});
+    std::printf("%s\n", T.render().c_str());
+    std::printf("shape check: hardware should win on the simple-stride and "
+                "low-coverage\nbenchmarks (swim, equake, dot); the "
+                "combination should dominate both.\n\n");
+  }
+
+  // Arsenal summary: geo-mean speedup over no-pf for every prefetcher,
+  // with and without the software side.
+  Table A({"prefetcher", "geo-mean (Trident off)", "geo-mean (Trident on)"});
+  for (const std::string &Pf : Hwpfs) {
+    const std::vector<double> &Off = Series[{Pf, 0}];
+    const std::vector<double> &On = Series[{Pf, 1}];
+    A.addRow({hwPfConfigName(Pf),
+              Off.empty() ? "-" : formatPercent(geometricMean(Off) - 1.0, 1),
+              On.empty() ? "-" : formatPercent(geometricMean(On) - 1.0, 1)});
+  }
+  std::printf("%s\n", A.render().c_str());
   printEventHealthJson(Results);
   return 0;
 }

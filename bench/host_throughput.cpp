@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 using namespace trident;
 using namespace trident::bench;
@@ -165,18 +166,41 @@ int main() {
               Mismatches == 0 ? "bit-identical"
                               : "MISMATCHED (determinism bug!)");
 
+  // Every sweep config runs the same hardware prefetcher; record which,
+  // plus its aggregate activity, so the scoreboard comparison refuses to
+  // line up numbers from different hwpf configurations.
+  const std::string HwPf = Jobs.front().Config.HwPf;
+  std::map<std::string, uint64_t> PfTotals;
+  for (const auto &R : Reference.Results)
+    for (const auto &KV : R->HwPf.Counters)
+      PfTotals[KV.first] += KV.second;
+
   std::string Json;
   Json.reserve(512);
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "{\"bench\":\"host_throughput\",\"jobs\":%zu,"
                 "\"threads\":%u,\"repeats\":%u,\"instr_per_run\":%llu,"
-                "\"serial_seconds\":%.3f,\"parallel_seconds\":%.3f,"
+                "\"hwpf\":\"%s\",\"serial_seconds\":%.3f,"
+                "\"parallel_seconds\":%.3f,"
                 "\"serial_ips\":%.0f,\"parallel_ips\":%.0f,",
                 Jobs.size(), Threads, Repeats,
-                static_cast<unsigned long long>(instrBudget()), SerialSec,
-                ParallelSec, median(SerialIps), median(ParallelIps));
+                static_cast<unsigned long long>(instrBudget()), HwPf.c_str(),
+                SerialSec, ParallelSec, median(SerialIps),
+                median(ParallelIps));
   Json += Buf;
+  Json += "\"hwpf_stats\":{";
+  {
+    bool First = true;
+    for (const auto &KV : PfTotals) {
+      std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%llu", First ? "" : ",",
+                    KV.first.c_str(),
+                    static_cast<unsigned long long>(KV.second));
+      Json += Buf;
+      First = false;
+    }
+  }
+  Json += "},";
   Json += "\"serial_runs_ips\":";
   appendDoubleArray(Json, SerialIps, "%.0f");
   Json += ",\"parallel_runs_ips\":";

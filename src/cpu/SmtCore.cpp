@@ -394,8 +394,20 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
                  Config.RobSize);
 
   ++C.Stats.IssuedTotal;
-  if (!I.Synthetic)
+  if (!I.Synthetic) {
     C.Stats.CommittedOriginal += 1 + I.ExtraCommits;
+    // Periodic prefetcher-effectiveness sample (off unless configured AND
+    // subscribed; see FeedbackEvery). Main context only, so the sampling
+    // clock is the reported instruction count.
+    if (FeedbackEvery != 0 && CtxIdx == 0) {
+      if (FeedbackCountdown <= 1 + I.ExtraCommits) {
+        Bus->publish(HardwareEvent::hwPfFeedback(Mem.feedback(), Now));
+        FeedbackCountdown = FeedbackEvery;
+      } else {
+        FeedbackCountdown -= 1 + I.ExtraCommits;
+      }
+    }
+  }
   if (PubMask & eventMaskOf(EventKind::Commit))
     Bus->publish(HardwareEvent::commit(CtxIdx, PC, I, Now));
   return true;
@@ -408,6 +420,11 @@ SmtCore::StopReason SmtCore::run(uint64_t TargetCommits, Cycle CycleLimit) {
   // Hoist the bus null-check out of the per-commit hot path: sample the
   // subscriber mask once, so each publish site below is one bit-test.
   PubMask = Bus ? Bus->activeMask() : 0;
+  FeedbackEvery = (PubMask & eventMaskOf(EventKind::HwPfFeedback))
+                      ? Config.HwPfFeedbackIntervalCommits
+                      : 0;
+  if (FeedbackEvery != 0 && FeedbackCountdown == 0)
+    FeedbackCountdown = FeedbackEvery;
 
   while (true) {
     if (Main.Stats.CommittedOriginal >= Goal)

@@ -47,6 +47,12 @@ struct CoreConfig {
   /// Redirect penalty on a branch misprediction (20-stage pipeline).
   unsigned MispredictPenalty = 20;
   unsigned NumContexts = 2;
+  /// When nonzero, publish an EventKind::HwPfFeedback sample of the
+  /// memory system's prefetcher-effectiveness counters every this many
+  /// committed main-context instructions. 0 (default) disables the
+  /// channel entirely, keeping event streams and stat exports
+  /// bit-identical to builds that predate it.
+  uint64_t HwPfFeedbackIntervalCommits = 0;
 
   static CoreConfig baseline() { return CoreConfig(); }
 };
@@ -185,6 +191,11 @@ private:
   /// branch per potential event — instead of chasing the Bus pointer and
   /// its subscriber lists when nobody is listening.
   EventKindMask PubMask = 0;
+  /// HwPfFeedback sampling, resolved at run() entry: 0 unless the config
+  /// interval is set AND someone subscribed to the kind, so the commit
+  /// path pays one predictable branch when the channel is off.
+  uint64_t FeedbackEvery = 0;
+  uint64_t FeedbackCountdown = 0;
 
   std::vector<Context> Ctxs;
   Cycle Now = 0;

@@ -52,6 +52,10 @@ void EventTracer::onEvent(const HardwareEvent &E) {
     R.Extra = (static_cast<uint64_t>(E.Cand.NumBranches) << 16) |
               E.Cand.Bitmap;
     break;
+  case EventKind::HwPfFeedback:
+    R.Arg = E.PfFb.Issued;
+    R.Extra = E.PfFb.Useful + E.PfFb.Late;
+    break;
   case EventKind::Commit:
   case EventKind::HelperDone:
   case EventKind::NumKinds:

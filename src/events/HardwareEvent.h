@@ -49,11 +49,20 @@ enum class EventKind : uint8_t {
   HotTrace,       ///< Profiler filter fired: a stable hot path was captured.
   DelinquentLoad, ///< DLT filter fired: a hot-trace load keeps missing.
   HelperDone,     ///< The helper-thread work stub ran to completion.
+  HwPfFeedback,   ///< Periodic hardware-prefetcher effectiveness sample.
   NumKinds,       ///< Sentinel; not a real event.
 };
 
 inline constexpr unsigned kNumEventKinds =
     static_cast<unsigned>(EventKind::NumKinds);
+
+/// The original eight kinds whose events.published.* stat lines are
+/// exported unconditionally (the golden corpus pins them). Kinds added
+/// after the corpus was frozen export their line only when nonzero, so
+/// configurations that never publish them stay bit-identical to older
+/// builds. Append-only: new kinds go after this boundary.
+inline constexpr unsigned kNumCoreEventKinds =
+    static_cast<unsigned>(EventKind::HwPfFeedback);
 
 /// Human/export name of an event kind. Keep in sync with EventKind: the
 /// trident-lint `event-names` rule requires a `case EventKind::X:` here
@@ -76,6 +85,8 @@ inline const char *eventKindName(EventKind K) {
     return "delinquent-load";
   case EventKind::HelperDone:
     return "helper-done";
+  case EventKind::HwPfFeedback:
+    return "hwpf-feedback";
   case EventKind::NumKinds:
     break;
   }
@@ -102,6 +113,29 @@ struct HotTraceCandidate {
   uint8_t NumBranches = 0;
 };
 
+/// Compact by-value payload of a HwPfFeedback event: the four HwPfFeedback
+/// counters saturated to 32 bits. Sized to fit the HotTraceCandidate union
+/// slot so adding the feedback channel left sizeof(HardwareEvent) alone —
+/// the bus, the bounded queue, and the tracer ring all copy events by
+/// value on the per-commit hot path, and the stat-registry export reads
+/// the full 64-bit counters from MemorySystem directly, so nothing wider
+/// is ever needed here. Saturation only matters past 4.3e9 of one counter
+/// within a single run, two orders of magnitude beyond the largest
+/// configured instruction budget.
+/// Members carry no initializers (the factory always assigns all four)
+/// so the type stays trivially default-constructible — a requirement for
+/// sharing the union slot below.
+struct HwPfFeedbackSample {
+  uint32_t Issued;
+  uint32_t Useful;
+  uint32_t Late;
+  uint32_t DemandMisses;
+
+  static uint32_t saturate(uint64_t V) {
+    return V > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(V);
+  }
+};
+
 /// One hardware event. A tagged record rather than a class hierarchy: the
 /// hot path constructs these on the stack per commit, so the layout is
 /// flat and the kind-specific fields simply go unused for other kinds.
@@ -122,7 +156,13 @@ struct HardwareEvent {
   Addr EA = 0;           ///< LoadOutcome: effective addr; Branch: target.
   bool Taken = false;    ///< Branch only.
   uint32_t TraceId = 0;  ///< TraceEntry/Exit, DelinquentLoad.
-  HotTraceCandidate Cand; ///< HotTrace only.
+  /// Kind-exclusive payloads share one slot: a HotTrace event never
+  /// carries feedback and vice versa, and both variants are trivially
+  /// copyable, so the union keeps the event at its pre-arsenal size.
+  union {
+    HotTraceCandidate Cand{}; ///< HotTrace only.
+    HwPfFeedbackSample PfFb;  ///< HwPfFeedback only (by value: queue-safe).
+  };
 
   static HardwareEvent commit(unsigned Ctx, Addr PC, const Instruction &I,
                               Cycle Now) {
@@ -196,6 +236,17 @@ struct HardwareEvent {
     E.Kind = EventKind::HelperDone;
     E.Ctx = static_cast<uint8_t>(Ctx);
     E.Time = Now;
+    return E;
+  }
+
+  static HardwareEvent hwPfFeedback(const HwPfFeedback &Fb, Cycle Now) {
+    HardwareEvent E;
+    E.Kind = EventKind::HwPfFeedback;
+    E.Time = Now;
+    E.PfFb = {HwPfFeedbackSample::saturate(Fb.Issued),
+              HwPfFeedbackSample::saturate(Fb.Useful),
+              HwPfFeedbackSample::saturate(Fb.Late),
+              HwPfFeedbackSample::saturate(Fb.DemandMisses)};
     return E;
   }
 };

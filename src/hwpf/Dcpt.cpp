@@ -1,0 +1,114 @@
+//===- Dcpt.cpp -----------------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hwpf/Dcpt.h"
+#include "support/Check.h"
+
+using namespace trident;
+
+DcptPrefetcher::DcptPrefetcher(const DcptConfig &Cfg)
+    : Config(Cfg), Buffer(Cfg.BufferCapacity) {
+  TRIDENT_CHECK(Config.NumEntries > 0 && Config.NumDeltas >= 2 &&
+                    Config.Degree > 0,
+                "dcpt config must be nonzero (and hold at least two deltas)");
+  Table.resize(Config.NumEntries);
+  for (Entry &E : Table)
+    E.Deltas.resize(Config.NumDeltas);
+}
+
+std::string DcptPrefetcher::name() const { return "dcpt"; }
+
+HwPfStats DcptPrefetcher::snapshotStats() const {
+  HwPfStats S;
+  S.Prefetcher = name();
+  S.Counters = {{"probe_hits", ProbeHits},
+                {"probe_misses", ProbeMisses},
+                {"lines_prefetched", LinesPrefetched},
+                {"pattern_matches", PatternMatches}};
+  return S;
+}
+
+void DcptPrefetcher::reset(Entry &E, Addr PC, uint64_t Block) {
+  E.Valid = true;
+  E.Tag = PC;
+  E.LastBlock = Block;
+  E.LastPrefetchBlock = 0;
+  E.Head = 0;
+  E.Count = 0;
+}
+
+void DcptPrefetcher::trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
+                                 MemoryBackend &BE) {
+  const uint64_t LS = BE.lineSize();
+  const uint64_t Block = ByteAddr / LS;
+  Entry &E = Table[PC % Config.NumEntries];
+  if (!E.Valid || E.Tag != PC) {
+    reset(E, PC, Block);
+    return;
+  }
+  int64_t Delta64 =
+      static_cast<int64_t>(Block) - static_cast<int64_t>(E.LastBlock);
+  if (Delta64 == 0)
+    return;
+  // Deltas are stored narrow (the hardware budget the DPC entry argues
+  // for); an out-of-range jump restarts the history.
+  if (Delta64 > INT32_MAX || Delta64 < INT32_MIN) {
+    reset(E, PC, Block);
+    return;
+  }
+  E.push(static_cast<int32_t>(Delta64));
+  E.LastBlock = Block;
+  if (E.Count < 2)
+    return;
+
+  // Correlate: find the most recent earlier occurrence of the newest
+  // delta pair (d[n-1], d[n]) in the history.
+  const int32_t DPrev = E.at(E.Count - 2);
+  const int32_t DLast = E.at(E.Count - 1);
+  int MatchEnd = -1; // index (from oldest) of the pair's second element
+  for (int I = static_cast<int>(E.Count) - 3; I >= 1; --I) {
+    if (E.at(I - 1) == DPrev && E.at(I) == DLast) {
+      MatchEnd = I;
+      break;
+    }
+  }
+  if (MatchEnd < 0)
+    return;
+  ++PatternMatches;
+
+  // Replay the deltas that followed the match from the current block.
+  uint64_t Predicted = Block;
+  unsigned Issued = 0;
+  for (unsigned I = MatchEnd + 1;
+       I < E.Count && Issued < Config.Degree; ++I) {
+    int64_t D = E.at(I);
+    if (D < 0 && Predicted < static_cast<uint64_t>(-D))
+      break; // replay ran off the bottom of memory
+    Predicted = static_cast<uint64_t>(static_cast<int64_t>(Predicted) + D);
+    // Skip blocks already covered by the previous replay of this entry
+    // (DCPT's in-flight dedup) or still sitting in the buffer.
+    if (Predicted == E.LastPrefetchBlock)
+      continue;
+    Addr LineAddr = Predicted * LS;
+    if (Buffer.contains(LineAddr))
+      continue;
+    Cycle Ready = BE.fetchBeyondL1(LineAddr, Now, AccessKind::HardwarePrefetch);
+    Buffer.insert(LineAddr, Ready);
+    E.LastPrefetchBlock = Predicted;
+    ++LinesPrefetched;
+    ++Issued;
+  }
+}
+
+std::optional<Cycle> DcptPrefetcher::probe(Addr LineAddr, Cycle /*Now*/,
+                                           MemoryBackend & /*BE*/) {
+  std::optional<Cycle> Ready = Buffer.take(LineAddr);
+  if (Ready)
+    ++ProbeHits;
+  else
+    ++ProbeMisses;
+  return Ready;
+}

@@ -1,0 +1,94 @@
+//===- Dcpt.h - Delta-correlating prediction table prefetcher --*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DCPT — Delta-Correlating Prediction Tables (Grannaes, Jahre & Natvig,
+/// JILP 2011 / DPC-1). Each load PC owns a table entry holding a ring of
+/// the most recent line-address deltas. On a miss the newest delta pair is
+/// matched against the entry's earlier history; on a match the deltas that
+/// followed the earlier occurrence are replayed from the current address
+/// to predict the next lines, and up to Degree of them are prefetched.
+/// Correlating on delta *pairs* lets one entry capture composite patterns
+/// (e.g. +1,+1,+62 row walks) that defeat single-stride predictors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_HWPF_DCPT_H
+#define TRIDENT_HWPF_DCPT_H
+
+#include "hwpf/PrefetchBuffer.h"
+#include "mem/MemorySystem.h"
+
+#include <vector>
+
+namespace trident {
+
+struct DcptConfig {
+  /// PC-indexed table entries (direct-mapped with tag).
+  unsigned NumEntries = 128;
+  /// Deltas of history per entry.
+  unsigned NumDeltas = 8;
+  /// Maximum lines prefetched per replayed match.
+  unsigned Degree = 4;
+  /// Prefetched-line buffer capacity.
+  unsigned BufferCapacity = 32;
+
+  static DcptConfig baseline() { return DcptConfig(); }
+};
+
+class DcptPrefetcher final : public HwPrefetcher {
+public:
+  explicit DcptPrefetcher(const DcptConfig &Config);
+
+  // HwPrefetcher interface.
+  void trainOnMiss(Addr PC, Addr ByteAddr, Cycle Now,
+                   MemoryBackend &BE) override;
+  std::optional<Cycle> probe(Addr LineAddr, Cycle Now,
+                             MemoryBackend &BE) override;
+  HwPfStats snapshotStats() const override;
+  std::string name() const override;
+
+  const DcptConfig &config() const { return Config; }
+
+private:
+  /// Per-PC delta history: a fixed ring of NumDeltas signed line deltas.
+  struct Entry {
+    bool Valid = false;
+    Addr Tag = 0;          ///< full PC (tag for the direct-mapped slot)
+    uint64_t LastBlock = 0;
+    uint64_t LastPrefetchBlock = 0; ///< dedup: newest block already issued
+    std::vector<int32_t> Deltas;    ///< ring, sized NumDeltas at reset
+    unsigned Head = 0;              ///< slot the next delta goes into
+    unsigned Count = 0;
+
+    int32_t at(unsigned AgeFromOldest) const {
+      return Deltas[(Head + Deltas.size() - Count + AgeFromOldest) %
+                    Deltas.size()];
+    }
+    void push(int32_t D) {
+      Deltas[Head] = D;
+      Head = (Head + 1) % static_cast<unsigned>(Deltas.size());
+      if (Count < Deltas.size())
+        ++Count;
+    }
+  };
+
+  void reset(Entry &E, Addr PC, uint64_t Block);
+
+  DcptConfig Config;
+  /// Fixed NumEntries slots, allocated at construction.
+  std::vector<Entry> Table;
+  PrefetchBuffer Buffer;
+
+  uint64_t ProbeHits = 0;
+  uint64_t ProbeMisses = 0;
+  uint64_t LinesPrefetched = 0;
+  uint64_t PatternMatches = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_HWPF_DCPT_H

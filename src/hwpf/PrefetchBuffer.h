@@ -1,0 +1,85 @@
+//===- PrefetchBuffer.h - Shared prefetched-line store ---------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fully-associative store of prefetched lines shared by the
+/// arsenal prefetchers (enhanced-stream, DCPT, T-SKID). Models the
+/// prefetch buffer real units drain demand hits from: insert() records a
+/// line the unit fetched via the MemoryBackend, take() consumes it on a
+/// probe hit. Replacement is FIFO over a fixed ring, so the per-miss path
+/// never touches the allocator and occupancy never exceeds Capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_HWPF_PREFETCHBUFFER_H
+#define TRIDENT_HWPF_PREFETCHBUFFER_H
+
+#include "isa/Instruction.h"
+#include "support/Types.h"
+
+#include <optional>
+#include <vector>
+
+namespace trident {
+
+class PrefetchBuffer {
+public:
+  /// \p Capacity slots, allocated once; the ring never regrows.
+  explicit PrefetchBuffer(unsigned Capacity)
+      : Slots(Capacity == 0 ? 1 : Capacity) {}
+
+  bool contains(Addr LineAddr) const {
+    for (const Slot &S : Slots)
+      if (S.Valid && S.LineAddr == LineAddr)
+        return true;
+    return false;
+  }
+
+  /// Consumes \p LineAddr if present, returning its data-ready cycle.
+  std::optional<Cycle> take(Addr LineAddr) {
+    for (Slot &S : Slots)
+      if (S.Valid && S.LineAddr == LineAddr) {
+        S.Valid = false;
+        return S.Ready;
+      }
+    return std::nullopt;
+  }
+
+  /// Records a prefetched line; evicts the oldest entry when full. A
+  /// duplicate insert refreshes the existing slot in place.
+  void insert(Addr LineAddr, Cycle Ready) {
+    for (Slot &S : Slots)
+      if (S.Valid && S.LineAddr == LineAddr) {
+        S.Ready = Ready;
+        return;
+      }
+    Slots[Hand] = {true, LineAddr, Ready};
+    Hand = (Hand + 1) % static_cast<unsigned>(Slots.size());
+  }
+
+  void clear() {
+    for (Slot &S : Slots)
+      S.Valid = false;
+    Hand = 0;
+  }
+
+  unsigned capacity() const { return static_cast<unsigned>(Slots.size()); }
+
+private:
+  struct Slot {
+    bool Valid = false;
+    Addr LineAddr = 0;
+    Cycle Ready = 0;
+  };
+
+  /// Fixed Capacity slots; Hand is the FIFO replacement cursor.
+  std::vector<Slot> Slots;
+  unsigned Hand = 0;
+};
+
+} // namespace trident
+
+#endif // TRIDENT_HWPF_PREFETCHBUFFER_H

@@ -32,6 +32,16 @@ std::string StreamBufferUnit::name() const {
          std::to_string(Config.Depth);
 }
 
+HwPfStats StreamBufferUnit::snapshotStats() const {
+  HwPfStats S;
+  S.Prefetcher = name();
+  S.Counters = {{"allocations", Stats.Allocations},
+                {"probe_hits", Stats.ProbeHits},
+                {"probe_misses", Stats.ProbeMisses},
+                {"lines_prefetched", Stats.LinesPrefetched}};
+  return S;
+}
+
 unsigned StreamBufferUnit::numActiveBuffers() const {
   unsigned N = 0;
   for (const Buffer &B : Buffers)

@@ -61,6 +61,10 @@ public:
                    MemoryBackend &BE) override;
   std::optional<Cycle> probe(Addr LineAddr, Cycle Now,
                              MemoryBackend &BE) override;
+  /// Reports exactly the four legacy counters under their historical
+  /// names, so the default configuration's "hwpf." registry lines stay
+  /// byte-identical to the golden corpus.
+  HwPfStats snapshotStats() const override;
   std::string name() const override;
 
   const StreamBufferConfig &config() const { return Config; }

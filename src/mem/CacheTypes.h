@@ -56,6 +56,44 @@ enum class LoadOutcome : uint8_t {
   MissDueToPrefetch ///< Missed because a prefetch displaced the line.
 };
 
+/// Aggregate effectiveness counters for the attached hardware prefetcher,
+/// maintained uniformly by MemorySystem (not by the prefetcher itself) so
+/// every arsenal member is measured with identical semantics:
+///
+///  * Issued — hardware-prefetch line fills sent down the L2/L3/memory path;
+///  * Useful — demand accesses whose data a prefetch had fully hidden
+///    (first-touch hits on prefetched lines, timely buffer hits);
+///  * Late — demand accesses that found their prefetch still in flight
+///    (partially hidden latency);
+///  * DemandMisses — demand L1 misses no prefetch covered at all.
+///
+/// accuracy() and coverage() are the standard derived metrics. The struct
+/// is also the payload of EventKind::HwPfFeedback (copied by value).
+struct HwPfFeedback {
+  uint64_t Issued = 0;
+  uint64_t Useful = 0;
+  uint64_t Late = 0;
+  uint64_t DemandMisses = 0;
+
+  /// Fraction of issued prefetches a demand access consumed (fully or
+  /// partially). Can exceed 1 transiently if a line is re-touched after
+  /// re-prefetch; in practice bounded by issue accounting.
+  double accuracy() const {
+    return Issued == 0 ? 0.0
+                       : static_cast<double>(Useful + Late) /
+                             static_cast<double>(Issued);
+  }
+
+  /// Fraction of would-be demand misses a prefetch covered.
+  double coverage() const {
+    uint64_t Covered = Useful + Late;
+    uint64_t Total = Covered + DemandMisses;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Covered) /
+                            static_cast<double>(Total);
+  }
+};
+
 /// Result of a timed memory access.
 struct AccessResult {
   /// Cycle at which the loaded data is available to dependents.

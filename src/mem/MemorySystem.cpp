@@ -32,8 +32,30 @@ void MemStats::registerInto(StatRegistry &R, const std::string &Prefix) const {
   R.setCounter(Prefix + "total_exposed_latency", TotalExposedLatency);
 }
 
+void HwPfStats::registerInto(StatRegistry &R,
+                             const std::string &Prefix) const {
+  for (const auto &C : Counters)
+    R.setCounter(Prefix + C.first, C.second);
+}
+
+uint64_t HwPfStats::get(const std::string &Name) const {
+  for (const auto &C : Counters)
+    if (C.first == Name)
+      return C.second;
+  return 0;
+}
+
 MemoryBackend::~MemoryBackend() = default;
 HwPrefetcher::~HwPrefetcher() = default;
+
+void HwPrefetcher::trainOnAccess(Addr, Addr, Cycle) {}
+void HwPrefetcher::trainOnFill(Addr, Cycle, AccessKind) {}
+
+HwPfStats HwPrefetcher::snapshotStats() const {
+  HwPfStats S;
+  S.Prefetcher = name();
+  return S;
+}
 
 MemorySystem::MemorySystem(const MemSystemConfig &Cfg)
     : Config(Cfg), L1(Config.L1), L2(Config.L2), L3(Config.L3) {
@@ -50,6 +72,8 @@ MemorySystem::MemorySystem(const MemSystemConfig &Cfg)
 
 void MemorySystem::attachPrefetcher(std::unique_ptr<HwPrefetcher> NewPf) {
   Pf = std::move(NewPf);
+  PfTrainsOnAccess = Pf && Pf->wantsAccessTraining();
+  PfTrainsOnFill = Pf && Pf->wantsFillTraining();
 }
 
 Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
@@ -87,8 +111,10 @@ Cycle MemorySystem::allocateMshr(Cycle IssueCycle, Cycle Ready) {
 }
 
 Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
-  if (Kind == AccessKind::HardwarePrefetch)
+  if (Kind == AccessKind::HardwarePrefetch) {
     ++Stats.HardwarePrefetches;
+    ++Fb.Issued;
+  }
   // Injected latency fault (inactive on the zero-fault path: one
   // predictable branch, timing otherwise untouched).
   const bool Faulted = FaultActive && LineAddr <= FaultHi &&
@@ -169,21 +195,28 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   auto finishDemand = [&](AccessResult &Res) {
     if (!DemandLoad)
       return;
+    // The per-outcome MemStats tally doubles as the uniform prefetcher
+    // feedback channel: fully-hidden outcomes are Useful, in-flight ones
+    // Late, uncovered ones DemandMisses (see HwPfFeedback).
     switch (Res.Outcome) {
     case LoadOutcome::HitNone:
       ++Stats.HitsNone;
       break;
     case LoadOutcome::HitPrefetched:
       ++Stats.HitsPrefetched;
+      ++Fb.Useful;
       break;
     case LoadOutcome::PartialHit:
       ++Stats.PartialHits;
+      ++Fb.Late;
       break;
     case LoadOutcome::Miss:
       ++Stats.Misses;
+      ++Fb.DemandMisses;
       break;
     case LoadOutcome::MissDueToPrefetch:
       ++Stats.MissesDueToPrefetch;
+      ++Fb.DemandMisses;
       break;
     }
     Cycle BestCase = Now + Config.L1.HitLatency;
@@ -208,6 +241,10 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
       } else if (!isPrefetchKind(Kind)) {
         L1.clearUntouched(Line);
       }
+      // Opt-in hit-side training (the complement of trainOnMiss); a plain
+      // bool test for the default arsenal, which trains on misses only.
+      if (PfTrainsOnAccess && !isPrefetchKind(Kind))
+        Pf->trainOnAccess(PC, ByteAddr, Now);
     } else {
       // Fill still in flight: a partial hit when prefetch-initiated,
       // otherwise an ordinary merged demand miss.
@@ -259,6 +296,8 @@ AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
   Cycle Ready = fetchBeyondL1(LineAddr, IssueCycle, Kind);
   Ready = allocateMshr(IssueCycle, Ready);
   L1.insert(LineAddr, Ready, isPrefetchKind(Kind));
+  if (PfTrainsOnFill)
+    Pf->trainOnFill(LineAddr, Ready, Kind);
   if (!isPrefetchKind(Kind)) {
     Cache::LookupResult LR = L1.lookup(LineAddr);
     TRIDENT_DCHECK(LR.Idx != Cache::NoLine,

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace trident {
@@ -46,7 +47,44 @@ public:
   virtual unsigned lineSize() const = 0;
 };
 
-/// Abstract hardware prefetcher (implemented by hwpf::StreamBufferUnit).
+/// Generic named-counter snapshot of one hardware prefetcher. Every
+/// arsenal member reports its internals through this one shape so
+/// SimResult and the stat registry stay prefetcher-agnostic: the unit
+/// picks its own counter names, the sim layer just prefixes and exports
+/// them. Counters are registered via registerInto (sorted by the registry
+/// itself), so insertion order here is not load-bearing.
+struct HwPfStats {
+  /// The reporting unit's name() (empty = no prefetcher attached).
+  std::string Prefetcher;
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  /// Registers every counter under \p Prefix (e.g. "hwpf.").
+  void registerInto(StatRegistry &R, const std::string &Prefix) const;
+
+  /// Value of counter \p Name, or 0 when the unit does not report it.
+  uint64_t get(const std::string &Name) const;
+};
+
+/// Abstract hardware prefetcher — the arsenal contract (see
+/// src/hwpf/PrefetcherRegistry.h for the name -> factory registry).
+///
+/// Training hooks, from hottest to coldest:
+///  * trainOnAccess — every demand access that HIT in the L1 with data
+///    present. Opt-in via wantsAccessTraining() so the default arsenal
+///    pays nothing on the hit path.
+///  * trainOnMiss — every demand access that missed in the L1 (including
+///    partial hits on in-flight fills), after the probe failed or was
+///    skipped. The main allocation/training point; the prefetcher may
+///    issue fills via \p BE.
+///  * trainOnFill — a demand (or software-prefetch) miss allocated an L1
+///    line fill. Opt-in via wantsFillTraining(); lets timing-aware units
+///    observe when lines actually arrive.
+///
+/// Issue path: probe() is consulted on every L1 miss before the fill goes
+/// to L2. Feedback: MemorySystem maintains HwPfFeedback uniformly for any
+/// attached unit; per-unit internals are reported via snapshotStats().
+// trident-analyze: not-a-hw-table(abstract interface; concrete units
+// declare their own bounded tables)
 class HwPrefetcher {
 public:
   virtual ~HwPrefetcher();
@@ -62,6 +100,26 @@ public:
   /// available.
   virtual std::optional<Cycle> probe(Addr LineAddr, Cycle Now,
                                      MemoryBackend &BE) = 0;
+
+  /// Opt-in for trainOnAccess. Sampled once at attach time — must be a
+  /// constant property of the unit, not a mode that changes mid-run.
+  virtual bool wantsAccessTraining() const { return false; }
+
+  /// Demand access that hit in the L1 with data present (the complement
+  /// of trainOnMiss). Only invoked when wantsAccessTraining().
+  virtual void trainOnAccess(Addr PC, Addr ByteAddr, Cycle Now);
+
+  /// Opt-in for trainOnFill. Sampled once at attach time.
+  virtual bool wantsFillTraining() const { return false; }
+
+  /// A demand or software-prefetch miss allocated an L1 fill for
+  /// \p LineAddr completing at \p Ready. Only invoked when
+  /// wantsFillTraining().
+  virtual void trainOnFill(Addr LineAddr, Cycle Ready, AccessKind Kind);
+
+  /// Named-counter snapshot of the unit's internals. Default: name only,
+  /// no counters.
+  virtual HwPfStats snapshotStats() const;
 
   virtual std::string name() const = 0;
 };
@@ -128,7 +186,13 @@ public:
 
   const MemSystemConfig &config() const { return Config; }
   const MemStats &stats() const { return Stats; }
-  void clearStats() { Stats = MemStats(); }
+  /// Uniform prefetcher-effectiveness counters (all zero when no
+  /// prefetcher is attached; see HwPfFeedback).
+  const HwPfFeedback &feedback() const { return Fb; }
+  void clearStats() {
+    Stats = MemStats();
+    Fb = HwPfFeedback();
+  }
 
   /// Invalidates all cache state (not the stats).
   void resetCaches();
@@ -164,7 +228,12 @@ private:
   Cache L3;
   std::unique_ptr<Tlb> Dtlb;
   std::unique_ptr<HwPrefetcher> Pf;
+  /// wants*Training() sampled once at attach time so the hot paths pay a
+  /// plain bool test instead of a virtual call per access.
+  bool PfTrainsOnAccess = false;
+  bool PfTrainsOnFill = false;
   MemStats Stats;
+  HwPfFeedback Fb;
 
   /// Injected latency fault (see injectLatencyFault); inactive by default
   /// so the hot path pays one predictable-not-taken branch.

@@ -86,6 +86,7 @@ void addCoreConfig(Fnv1a &F, const CoreConfig &C) {
   F.add(C.MemIssueLimit);
   F.add(C.MispredictPenalty);
   F.add(C.NumContexts);
+  F.add(C.HwPfFeedbackIntervalCommits);
 }
 
 void addDltConfig(Fnv1a &F, const DltConfig &C) {
@@ -147,7 +148,7 @@ uint64_t trident::configFingerprint(const SimConfig &C) {
   Fnv1a F;
   addCoreConfig(F, C.Core);
   addMemConfig(F, C.Mem);
-  F.add(static_cast<uint64_t>(C.HwPf));
+  F.add(C.HwPf);
   F.add(C.EnableTrident);
   addRuntimeConfig(F, C.Runtime);
   F.add(C.WarmupInstructions);

@@ -12,21 +12,13 @@
 
 using namespace trident;
 
-const char *trident::hwPfConfigName(HwPfConfig C) {
-  switch (C) {
-  case HwPfConfig::None:
-    return "no-hwpf";
-  case HwPfConfig::Sb4x4:
-    return "sb4x4";
-  case HwPfConfig::Sb8x8:
-    return "sb8x8";
-  }
-  return "<bad>";
+std::string trident::hwPfConfigName(const std::string &Spec) {
+  return PrefetcherRegistry::isNone(Spec) ? std::string("no-hwpf") : Spec;
 }
 
 SimConfig SimConfig::hwBaseline() {
   SimConfig C;
-  C.HwPf = HwPfConfig::Sb8x8;
+  C.HwPf = "sb8x8";
   C.EnableTrident = false;
   return C;
 }
@@ -46,18 +38,20 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   W.Init(Data);
 
   MemorySystem Mem(Config.Mem);
-  StreamBufferUnit *SbUnit = nullptr;
-  if (Config.HwPf != HwPfConfig::None) {
-    StreamBufferConfig SbCfg = Config.HwPf == HwPfConfig::Sb4x4
-                                   ? StreamBufferConfig::config4x4()
-                                   : StreamBufferConfig::config8x8();
-    if (Config.Mem.Tlb.Enable) {
-      SbCfg.StopAtPageBoundary = true; // streams respect pages when a TLB
-      SbCfg.PageBits = Config.Mem.Tlb.PageBits; // is being modeled
-    }
-    auto Unit = std::make_unique<StreamBufferUnit>(SbCfg);
-    SbUnit = Unit.get();
-    Mem.attachPrefetcher(std::move(Unit));
+  {
+    // Resolve the prefetcher spec through the arsenal registry; the TLB
+    // model (when on) makes page-bounded units stop streams at pages.
+    PrefetcherEnv Env;
+    Env.PageBounded = Config.Mem.Tlb.Enable;
+    Env.PageBits = Config.Mem.Tlb.PageBits;
+    std::string PfError;
+    std::unique_ptr<HwPrefetcher> Unit =
+        PrefetcherRegistry::instance().create(Config.HwPf, Env, &PfError);
+    TRIDENT_CHECK(Unit || PrefetcherRegistry::isNone(Config.HwPf),
+                  "bad --hwpf spec '%s': %s", Config.HwPf.c_str(),
+                  PfError.c_str());
+    if (Unit)
+      Mem.attachPrefetcher(std::move(Unit));
   }
 
   CodeCache CC;
@@ -154,8 +148,9 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     Res.Runtime = Runtime->stats();
     Res.Dlt = Runtime->dlt().stats();
   }
-  if (SbUnit)
-    Res.HwPf = SbUnit->stats();
+  if (const HwPrefetcher *Pf = Mem.prefetcher())
+    Res.HwPf = Pf->snapshotStats();
+  Res.PfFeedback = Mem.feedback();
   if (const Tlb *T = Mem.dtlb())
     Res.Tlb = T->stats();
   Res.HelperBusyCycles = Core.helperBusyCycles();
@@ -186,10 +181,27 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   Res.Mem.registerInto(*Reg, "mem.");
   Res.Tlb.registerInto(*Reg, "tlb.");
   Res.HwPf.registerInto(*Reg, "hwpf.");
-  for (unsigned K = 0; K < kNumEventKinds; ++K)
+  // The feedback block is opt-in (the sampling knob): the default export
+  // set — and therefore the golden corpus — is untouched unless a config
+  // explicitly turns the channel on.
+  if (Config.Core.HwPfFeedbackIntervalCommits > 0 && Mem.prefetcher()) {
+    Reg->setCounter("hwpf.feedback.issued", Res.PfFeedback.Issued);
+    Reg->setCounter("hwpf.feedback.useful", Res.PfFeedback.Useful);
+    Reg->setCounter("hwpf.feedback.late", Res.PfFeedback.Late);
+    Reg->setCounter("hwpf.feedback.demand_misses",
+                    Res.PfFeedback.DemandMisses);
+    Reg->setReal("hwpf.feedback.accuracy", Res.PfFeedback.accuracy());
+    Reg->setReal("hwpf.feedback.coverage", Res.PfFeedback.coverage());
+  }
+  for (unsigned K = 0; K < kNumEventKinds; ++K) {
+    // Kinds newer than the original eight export conditionally, so runs
+    // that never publish them stay byte-identical to the golden corpus.
+    if (K >= kNumCoreEventKinds && Res.EventsPublished[K] == 0)
+      continue;
     Reg->setCounter(std::string("events.published.") +
                         eventKindName(static_cast<EventKind>(K)),
                     Res.EventsPublished[K]);
+  }
   if (Runtime) {
     Res.Runtime.registerInto(*Reg, "trident.");
     Res.Dlt.registerInto(*Reg, "dlt.");

@@ -21,7 +21,7 @@
 #include "events/EventTracer.h"
 #include "support/StatRegistry.h"
 #include "faults/FaultInjector.h"
-#include "hwpf/StreamBuffer.h"
+#include "hwpf/PrefetcherRegistry.h"
 #include "workloads/Workloads.h"
 
 #include <array>
@@ -30,15 +30,17 @@
 
 namespace trident {
 
-/// What hardware prefetcher (if any) the baseline machine carries.
-enum class HwPfConfig : uint8_t { None, Sb4x4, Sb8x8 };
-
-const char *hwPfConfigName(HwPfConfig C);
+/// Display name for a prefetcher spec: "no-hwpf" for the explicit
+/// no-prefetcher configuration, the spec string verbatim otherwise.
+std::string hwPfConfigName(const std::string &Spec);
 
 struct SimConfig {
   CoreConfig Core = CoreConfig::baseline();
   MemSystemConfig Mem = MemSystemConfig::baseline();
-  HwPfConfig HwPf = HwPfConfig::Sb8x8;
+  /// Hardware-prefetcher spec, resolved through PrefetcherRegistry:
+  /// "none", a registered name ("sb8x8", "enhanced-stream", "dcpt",
+  /// "tskid", ...), or name:knob=value,... (see trident_sim --hwpf list).
+  std::string HwPf = "sb8x8";
   /// Enable the Trident runtime at all (false = raw hardware baseline).
   bool EnableTrident = false;
   RuntimeConfig Runtime = RuntimeConfig::baseline();
@@ -67,7 +69,14 @@ struct SimResult {
   RuntimeStats Runtime;
   DltStats Dlt;
   TlbStats Tlb;
-  StreamBufferStats HwPf;
+  /// The attached prefetcher's named-counter snapshot (name empty, no
+  /// counters when the config ran without one). Counter names are
+  /// per-prefetcher; the legacy stream-buffer set keeps its historical
+  /// names, so default-config registry exports are unchanged.
+  HwPfStats HwPf;
+  /// Uniform prefetcher-effectiveness counters (accuracy/coverage inputs),
+  /// maintained by the memory system for any attached unit.
+  HwPfFeedback PfFeedback;
   Cycle HelperBusyCycles = 0;
   uint64_t BranchMispredicts = 0;
   /// Fault-injection accounting (all zero when no plan was configured).

@@ -93,7 +93,6 @@ struct Machine {
   Program Prog;
   DataMemory Data;
   MemorySystem Mem;
-  StreamBufferUnit *SbUnit = nullptr;
   CodeCache CC;
   CodeImage Image;
   SmtCore Core;
@@ -105,14 +104,12 @@ struct Machine {
       : Prog(W.Prog), Mem(Config.Mem), Image(Prog, CC),
         Core(Config.Core, Image, Data, Mem) {
     W.Init(Data);
-    if (Config.HwPf != HwPfConfig::None) {
-      StreamBufferConfig SbCfg = Config.HwPf == HwPfConfig::Sb4x4
-                                     ? StreamBufferConfig::config4x4()
-                                     : StreamBufferConfig::config8x8();
-      auto Unit = std::make_unique<StreamBufferUnit>(SbCfg);
-      SbUnit = Unit.get();
+    std::string PfError;
+    std::unique_ptr<HwPrefetcher> Unit = PrefetcherRegistry::instance().create(
+        Config.HwPf, PrefetcherEnv{}, &PfError);
+    EXPECT_TRUE(Unit || PrefetcherRegistry::isNone(Config.HwPf)) << PfError;
+    if (Unit)
       Mem.attachPrefetcher(std::move(Unit));
-    }
     Core.setBranchPredictor(&Predictor);
     Core.setEventBus(&Bus);
     if (Config.EnableTrident) {

@@ -432,6 +432,43 @@ TEST(EventBusEndToEnd, TracerOnVsOffBitIdenticalAcrossAllWorkloads) {
   }
 }
 
+TEST(EventBusEndToEnd, HwPfFeedbackPublishesOnlyWhenIntervalSet) {
+  // The feedback channel is opt-in: with the interval at its default of 0
+  // no HwPfFeedback event is ever published (even with a subscribed
+  // tracer), so existing event streams and stat exports stay identical.
+  Workload W = makeWorkload("mcf");
+  SimConfig C = SimConfig::hwBaseline();
+  C.SimInstructions = 40'000;
+  C.WarmupInstructions = 10'000;
+
+  EventTracer Off(1 << 12);
+  SimResult ROff = runSimulation(W, C, &Off);
+  EXPECT_EQ(ROff.EventsPublished[size_t(EventKind::HwPfFeedback)], 0u);
+
+  C.Core.HwPfFeedbackIntervalCommits = 1'000;
+  EventTracer On(1 << 12);
+  SimResult ROn = runSimulation(W, C, &On);
+  EXPECT_GT(ROn.EventsPublished[size_t(EventKind::HwPfFeedback)], 0u);
+  // Roughly one event per interval of committed instructions.
+  EXPECT_LE(ROn.EventsPublished[size_t(EventKind::HwPfFeedback)],
+            ROn.Instructions / 1'000 + 1);
+  // The tracer recorded them with the issued-count payload.
+  unsigned Seen = 0;
+  for (const auto &Rec : On.snapshot())
+    if (Rec.Kind == EventKind::HwPfFeedback)
+      ++Seen;
+  EXPECT_GT(Seen, 0u);
+  // And the opt-in stat block appears only on the configured run.
+  ASSERT_TRUE(ROff.Registry && ROn.Registry);
+  EXPECT_EQ(ROff.Registry->toJsonl().find("hwpf.feedback."),
+            std::string::npos);
+  EXPECT_NE(ROn.Registry->toJsonl().find("hwpf.feedback."),
+            std::string::npos);
+  // The cumulative counters the events carry come from the same channel
+  // the result snapshot reports.
+  EXPECT_GT(ROn.PfFeedback.Issued, 0u);
+}
+
 TEST(EventBusEndToEnd, TracerPassiveOnHardwareBaseline) {
   // Without Trident no one subscribes to the hot-path kinds, so a tracer
   // is the machine's only observer; the run itself must still be

@@ -145,7 +145,15 @@ TEST(ConfigFingerprint, SensitiveToEveryLayerOfTheConfig) {
   EXPECT_NE(configFingerprint(C), H);
 
   C = Base;
-  C.HwPf = HwPfConfig::Sb4x4;
+  C.HwPf = "sb4x4";
+  EXPECT_NE(configFingerprint(C), H);
+
+  C = Base;
+  C.HwPf = "sb8x8:depth=8"; // same unit, distinct spec string
+  EXPECT_NE(configFingerprint(C), H);
+
+  C = Base;
+  C.Core.HwPfFeedbackIntervalCommits = 1000;
   EXPECT_NE(configFingerprint(C), H);
 
   C = Base;

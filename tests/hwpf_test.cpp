@@ -4,11 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "hwpf/Dcpt.h"
+#include "hwpf/EnhancedStream.h"
+#include "hwpf/PrefetcherRegistry.h"
 #include "hwpf/StreamBuffer.h"
 #include "hwpf/StridePredictor.h"
+#include "hwpf/Tskid.h"
 #include "mem/MemorySystem.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace trident;
 
@@ -203,4 +209,370 @@ TEST(StreamBuffer, PageBoundaryStopWhenConfigured) {
       HitsBeyond += Hit;
   }
   EXPECT_EQ(HitsBeyond, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// EnhancedStreamPrefetcher
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Block-granularity training helper (line size is 64 in the backend).
+void missAtBlock(HwPrefetcher &U, MemorySystem &M, uint64_t Block, Cycle Now,
+                 Addr PC = 0x100) {
+  U.trainOnMiss(PC, Block * 64, Now, M);
+}
+} // namespace
+
+TEST(EnhancedStream, ConfirmsAfterThreeConsistentMisses) {
+  MemorySystem M(sbBackendConfig());
+  EnhancedStreamPrefetcher U(EnhancedStreamConfig::baseline());
+  missAtBlock(U, M, 1000, 10);
+  missAtBlock(U, M, 1001, 20);
+  EXPECT_EQ(U.numActiveStreams(), 0u); // two misses: not confirmed yet
+  missAtBlock(U, M, 1002, 30);
+  EXPECT_EQ(U.numActiveStreams(), 1u);
+  EXPECT_GE(U.snapshotStats().get("lines_prefetched"), 2u); // degree-2 ramp
+  // The stream runs upward from the confirmation point.
+  EXPECT_TRUE(U.probe(1003 * 64, 100, M).has_value());
+}
+
+TEST(EnhancedStream, NoiseTolerantTraining) {
+  MemorySystem M(sbBackendConfig());
+  EnhancedStreamPrefetcher U(EnhancedStreamConfig::baseline());
+  missAtBlock(U, M, 1000, 10);
+  missAtBlock(U, M, 1001, 20);
+  // A stray miss inside the region that breaks the stride: ignored, the
+  // trainer keeps its state instead of resetting.
+  missAtBlock(U, M, 1010, 30);
+  EXPECT_EQ(U.snapshotStats().get("noise_rejected"), 1u);
+  EXPECT_EQ(U.numActiveStreams(), 0u);
+  // The real stream continues and still confirms.
+  missAtBlock(U, M, 1002, 40);
+  EXPECT_EQ(U.numActiveStreams(), 1u);
+}
+
+TEST(EnhancedStream, TrainsOnRegionsNotPCs) {
+  MemorySystem M(sbBackendConfig());
+  EnhancedStreamPrefetcher U(EnhancedStreamConfig::baseline());
+  // Three different PCs walking one region still confirm one stream:
+  // identification is by region, not by instruction.
+  missAtBlock(U, M, 2000, 10, /*PC=*/0x100);
+  missAtBlock(U, M, 2001, 20, /*PC=*/0x200);
+  missAtBlock(U, M, 2002, 30, /*PC=*/0x300);
+  EXPECT_EQ(U.numActiveStreams(), 1u);
+}
+
+TEST(EnhancedStream, DeadStreamRemoval) {
+  MemorySystem M(sbBackendConfig());
+  EnhancedStreamConfig Cfg = EnhancedStreamConfig::baseline();
+  Cfg.NumStreams = 2;
+  EnhancedStreamPrefetcher U(Cfg);
+  // Fill both stream slots (each confirmed stream has ramped only
+  // Degree=2 lines — below DeadMinLength=4).
+  for (uint64_t B : {1000ull, 5000ull})
+    for (unsigned I = 0; I < 3; ++I)
+      missAtBlock(U, M, B + I, 10 * I);
+  EXPECT_EQ(U.numActiveStreams(), 2u);
+  // Idle both streams past DeadIdleEvents with unrelated one-shot misses
+  // (distinct regions, so nothing confirms or touches the streams).
+  for (unsigned I = 0; I < 70; ++I)
+    missAtBlock(U, M, 100000 + uint64_t(I) * 200, 1000 + I);
+  // A third stream confirms: the victim is a dead stream, not plain LRU.
+  for (unsigned I = 0; I < 3; ++I)
+    missAtBlock(U, M, 9000 + I, 2000 + 10 * I);
+  EXPECT_EQ(U.numActiveStreams(), 2u);
+  EXPECT_GE(U.snapshotStats().get("dead_streams_removed"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// DcptPrefetcher
+//===----------------------------------------------------------------------===//
+
+TEST(Dcpt, ReplaysCompositeDeltaPattern) {
+  MemorySystem M(sbBackendConfig());
+  DcptPrefetcher U(DcptConfig::baseline());
+  // Row-walk pattern +1,+1,+62 — the composite stride a single-stride
+  // predictor cannot learn.
+  const uint64_t Blocks[] = {10, 11, 12, 74, 75, 76};
+  Cycle Now = 0;
+  for (uint64_t B : Blocks)
+    U.trainOnMiss(0x100, B * 64, Now += 10, M);
+  // The newest pair (+1,+1) recurs in history; the replay predicts
+  // +62,+1,+1 from block 76: blocks 138, 139, 140.
+  EXPECT_GE(U.snapshotStats().get("pattern_matches"), 1u);
+  EXPECT_GE(U.snapshotStats().get("lines_prefetched"), 3u);
+  EXPECT_TRUE(U.probe(138 * 64, 1000, M).has_value());
+  EXPECT_TRUE(U.probe(139 * 64, 1010, M).has_value());
+  EXPECT_FALSE(U.probe(137 * 64, 1020, M).has_value()); // not predicted
+}
+
+TEST(Dcpt, NoMatchNoPrefetch) {
+  MemorySystem M(sbBackendConfig());
+  DcptPrefetcher U(DcptConfig::baseline());
+  // Strictly novel deltas: no pair ever recurs.
+  const uint64_t Blocks[] = {10, 11, 13, 17, 25, 41};
+  Cycle Now = 0;
+  for (uint64_t B : Blocks)
+    U.trainOnMiss(0x100, B * 64, Now += 10, M);
+  EXPECT_EQ(U.snapshotStats().get("pattern_matches"), 0u);
+  EXPECT_EQ(U.snapshotStats().get("lines_prefetched"), 0u);
+}
+
+TEST(Dcpt, PcAliasingResetsEntry) {
+  MemorySystem M(sbBackendConfig());
+  DcptConfig Cfg = DcptConfig::baseline();
+  Cfg.NumEntries = 16;
+  DcptPrefetcher U(Cfg);
+  const uint64_t Blocks[] = {10, 11, 12, 74, 75};
+  Cycle Now = 0;
+  for (uint64_t B : Blocks)
+    U.trainOnMiss(0x100, B * 64, Now += 10, M);
+  // PC 0x110 maps to the same direct-mapped slot: the entry retags and
+  // the earlier history is gone, so the pattern never completes.
+  U.trainOnMiss(0x110, 5000 * 64, Now += 10, M);
+  U.trainOnMiss(0x100, 76 * 64, Now += 10, M);
+  EXPECT_EQ(U.snapshotStats().get("pattern_matches"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TskidPrefetcher
+//===----------------------------------------------------------------------===//
+
+TEST(Tskid, DelaysPrefetchUntilLearnedSkid) {
+  MemorySystem M(sbBackendConfig());
+  TskidPrefetcher U(TskidConfig::baseline()); // lead 400, minskid 64
+  // Learn: trigger PC 0xA's miss precedes target PC 0xB's by 500 cycles
+  // at a +100-block delta.
+  U.trainOnMiss(0xA, 100 * 64, 1000, M);
+  U.trainOnMiss(0xB, 200 * 64, 1500, M);
+  // The trigger fires again: the target's line is predicted but NOT
+  // issued — it waits for (skid - lead) = 100 cycles.
+  U.trainOnMiss(0xA, 300 * 64, 3000, M);
+  EXPECT_EQ(U.numPending(), 1u);
+  EXPECT_EQ(U.snapshotStats().get("delayed_issues"), 1u);
+  EXPECT_EQ(U.snapshotStats().get("lines_prefetched"), 0u);
+  // Probing before the issue time finds nothing...
+  EXPECT_FALSE(U.probe(400 * 64, 3050, M).has_value());
+  // ...and after it (3000 + 500 - 400 = 3100) the line is in flight.
+  EXPECT_TRUE(U.probe(400 * 64, 3200, M).has_value());
+  EXPECT_EQ(U.numPending(), 0u);
+  EXPECT_EQ(U.snapshotStats().get("lines_prefetched"), 1u);
+}
+
+TEST(Tskid, ShortSkidIssuesImmediately) {
+  MemorySystem M(sbBackendConfig());
+  TskidPrefetcher U(TskidConfig::baseline());
+  // Skid 20 < minskid 64: timing is noise, issue right away.
+  U.trainOnMiss(0xA, 100 * 64, 1000, M);
+  U.trainOnMiss(0xB, 200 * 64, 1020, M);
+  U.trainOnMiss(0xA, 300 * 64, 2000, M);
+  EXPECT_EQ(U.numPending(), 0u);
+  EXPECT_EQ(U.snapshotStats().get("lines_prefetched"), 1u);
+  EXPECT_TRUE(U.probe(400 * 64, 2001, M).has_value());
+}
+
+TEST(Tskid, LearnsTriggerAssociations) {
+  MemorySystem M(sbBackendConfig());
+  TskidPrefetcher U(TskidConfig::baseline());
+  U.trainOnMiss(0xA, 100 * 64, 1000, M);
+  U.trainOnMiss(0xB, 200 * 64, 1500, M);
+  EXPECT_GE(U.snapshotStats().get("triggers_learned"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// PrefetcherRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(PrefetcherRegistry, ArsenalIsRegistered) {
+  std::vector<std::string> Names = PrefetcherRegistry::instance().names();
+  for (const char *N :
+       {"sb4x4", "sb8x8", "stream", "enhanced-stream", "dcpt", "tskid"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), N), Names.end())
+        << "missing registry entry: " << N;
+  // The fig9 sweep set excludes the parameterized "stream" alias (it
+  // would duplicate sb8x8's row) and includes the four real units.
+  std::vector<std::string> Arsenal =
+      PrefetcherRegistry::instance().arsenalNames();
+  EXPECT_EQ(std::find(Arsenal.begin(), Arsenal.end(), "stream"),
+            Arsenal.end());
+  EXPECT_GE(Arsenal.size(), 5u); // sb4x4, sb8x8, enhanced-stream, dcpt, tskid
+}
+
+TEST(PrefetcherRegistry, CreateRoundTripsEveryArsenalName) {
+  for (const std::string &N :
+       PrefetcherRegistry::instance().arsenalNames()) {
+    std::string Error;
+    auto U = PrefetcherRegistry::instance().create(N, PrefetcherEnv{}, &Error);
+    ASSERT_TRUE(U) << N << ": " << Error;
+    EXPECT_FALSE(U->name().empty());
+    EXPECT_EQ(U->snapshotStats().Prefetcher, U->name());
+  }
+}
+
+TEST(PrefetcherRegistry, NoneIsNotAnError) {
+  for (const char *Spec : {"none", ""}) {
+    std::string Error = "untouched";
+    auto U =
+        PrefetcherRegistry::instance().create(Spec, PrefetcherEnv{}, &Error);
+    EXPECT_EQ(U, nullptr);
+    EXPECT_EQ(Error, "untouched");
+    EXPECT_TRUE(PrefetcherRegistry::isNone(Spec));
+  }
+  EXPECT_FALSE(PrefetcherRegistry::isNone("sb8x8"));
+}
+
+TEST(PrefetcherRegistry, UnknownNameSetsError) {
+  std::string Error;
+  auto U = PrefetcherRegistry::instance().create("bogus", PrefetcherEnv{},
+                                                 &Error);
+  EXPECT_EQ(U, nullptr);
+  EXPECT_NE(Error.find("unknown prefetcher 'bogus'"), std::string::npos);
+  EXPECT_NE(Error.find("sb8x8"), std::string::npos); // lists what exists
+}
+
+TEST(PrefetcherRegistry, KnobsReachTheUnit) {
+  std::string Error;
+  auto U = PrefetcherRegistry::instance().create("dcpt:entries=64,degree=2",
+                                                 PrefetcherEnv{}, &Error);
+  ASSERT_TRUE(U) << Error;
+  auto *D = dynamic_cast<DcptPrefetcher *>(U.get());
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->config().NumEntries, 64u);
+  EXPECT_EQ(D->config().Degree, 2u);
+  EXPECT_EQ(D->config().NumDeltas, 8u); // untouched knob keeps its default
+
+  auto S = PrefetcherRegistry::instance().create("stream:buffers=4,depth=4",
+                                                 PrefetcherEnv{}, &Error);
+  ASSERT_TRUE(S) << Error;
+  auto *SB = dynamic_cast<StreamBufferUnit *>(S.get());
+  ASSERT_NE(SB, nullptr);
+  EXPECT_EQ(SB->config().NumBuffers, 4u);
+  EXPECT_EQ(SB->config().Depth, 4u);
+}
+
+TEST(PrefetcherRegistry, BadKnobsAreRejected) {
+  std::string Error;
+  EXPECT_EQ(PrefetcherRegistry::instance().create("dcpt:bogus=3",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("unknown knob 'bogus'"), std::string::npos);
+  EXPECT_EQ(PrefetcherRegistry::instance().create("dcpt:entries=abc",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("non-integer"), std::string::npos);
+  EXPECT_EQ(PrefetcherRegistry::instance().create("dcpt:entries",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("malformed knob"), std::string::npos);
+}
+
+TEST(PrefetcherRegistry, PageBoundedEnvConfiguresStreamBuffers) {
+  PrefetcherEnv Env;
+  Env.PageBounded = true;
+  Env.PageBits = 13;
+  std::string Error;
+  auto U = PrefetcherRegistry::instance().create("sb8x8", Env, &Error);
+  ASSERT_TRUE(U) << Error;
+  auto *SB = dynamic_cast<StreamBufferUnit *>(U.get());
+  ASSERT_NE(SB, nullptr);
+  EXPECT_TRUE(SB->config().StopAtPageBoundary);
+  EXPECT_EQ(SB->config().PageBits, 13u);
+}
+
+//===----------------------------------------------------------------------===//
+// Train/issue/feedback contract through a real MemorySystem
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counting stub exercising every optional hook of the contract.
+class HookCountingPrefetcher final : public HwPrefetcher {
+public:
+  uint64_t Misses = 0, Accesses = 0, Fills = 0, Probes = 0;
+
+  void trainOnMiss(Addr, Addr, Cycle, MemoryBackend &) override { ++Misses; }
+  std::optional<Cycle> probe(Addr, Cycle, MemoryBackend &) override {
+    ++Probes;
+    return std::nullopt;
+  }
+  bool wantsAccessTraining() const override { return true; }
+  void trainOnAccess(Addr, Addr, Cycle) override { ++Accesses; }
+  bool wantsFillTraining() const override { return true; }
+  void trainOnFill(Addr, Cycle, AccessKind) override { ++Fills; }
+  std::string name() const override { return "hook-counter"; }
+};
+
+} // namespace
+
+TEST(HwPfContract, HooksFireFromMemorySystemAccess) {
+  MemorySystem M(sbBackendConfig());
+  auto Owned = std::make_unique<HookCountingPrefetcher>();
+  HookCountingPrefetcher *Pf = Owned.get();
+  M.attachPrefetcher(std::move(Owned));
+
+  // Cold demand load: probe + miss training + a fill.
+  M.access(0x100, 0x10000, AccessKind::DemandLoad, 0);
+  EXPECT_EQ(Pf->Probes, 1u);
+  EXPECT_EQ(Pf->Misses, 1u);
+  EXPECT_EQ(Pf->Fills, 1u);
+  EXPECT_EQ(Pf->Accesses, 0u);
+
+  // Same line once the fill has landed: a data-present L1 hit trains the
+  // access hook and nothing else.
+  M.access(0x100, 0x10000, AccessKind::DemandLoad, 10'000);
+  EXPECT_EQ(Pf->Accesses, 1u);
+  EXPECT_EQ(Pf->Misses, 1u);
+  EXPECT_EQ(Pf->Fills, 1u);
+
+  // Hardware-prefetch traffic never trains the access hook.
+  M.access(0x100, 0x20000, AccessKind::DemandLoad, 20'000);
+  uint64_t AccessesBefore = Pf->Accesses;
+  M.access(0x100, 0x20000, AccessKind::HardwarePrefetch, 30'000);
+  EXPECT_EQ(Pf->Accesses, AccessesBefore);
+}
+
+TEST(HwPfContract, TskidFillHookFiresEndToEnd) {
+  MemorySystem M(sbBackendConfig());
+  std::string Error;
+  auto U = PrefetcherRegistry::instance().create("tskid", PrefetcherEnv{},
+                                                 &Error);
+  ASSERT_TRUE(U) << Error;
+  M.attachPrefetcher(std::move(U));
+  for (unsigned I = 0; I < 8; ++I)
+    M.access(0x100, 0x10000 + I * 0x1000, AccessKind::DemandLoad,
+             Cycle(I) * 1000);
+  const HwPrefetcher *Pf = M.prefetcher();
+  ASSERT_NE(Pf, nullptr);
+  EXPECT_GT(Pf->snapshotStats().get("fills_observed"), 0u);
+}
+
+TEST(HwPfContract, FeedbackCountersTrackStreamBufferActivity) {
+  MemorySystem M(sbBackendConfig());
+  std::string Error;
+  auto U =
+      PrefetcherRegistry::instance().create("sb8x8", PrefetcherEnv{}, &Error);
+  ASSERT_TRUE(U) << Error;
+  M.attachPrefetcher(std::move(U));
+
+  // A long stride-64 demand stream: buffers allocate, run ahead, and the
+  // demand consumes their lines.
+  Cycle Now = 0;
+  for (unsigned I = 0; I < 200; ++I) {
+    AccessResult R =
+        M.access(0x100, 0x100000 + uint64_t(I) * 64, AccessKind::DemandLoad,
+                 Now);
+    Now = R.ReadyCycle + 1;
+  }
+  const HwPfFeedback &Fb = M.feedback();
+  EXPECT_GT(Fb.Issued, 0u);
+  EXPECT_GT(Fb.Useful + Fb.Late, 0u);
+  EXPECT_GT(Fb.DemandMisses, 0u); // the cold misses before confidence
+  EXPECT_GE(Fb.accuracy(), 0.0);
+  EXPECT_LE(Fb.coverage(), 1.0);
+  EXPECT_GT(Fb.coverage(), 0.0);
+
+  // clearStats resets the feedback channel with the rest.
+  M.clearStats();
+  EXPECT_EQ(M.feedback().Issued, 0u);
+  EXPECT_EQ(M.feedback().Useful + M.feedback().Late, 0u);
 }

@@ -1,0 +1,23 @@
+#ifndef FIX_BOUNDED_PF_H
+#define FIX_BOUNDED_PF_H
+#include <vector>
+namespace trident {
+struct DeltaPrefetcherConfig {
+  unsigned NumEntries = 128;
+};
+// Bounded one indirection away, through its config struct — the arsenal
+// pattern (DcptConfig -> DcptPrefetcher).
+class DeltaPrefetcher {
+public:
+  explicit DeltaPrefetcher(const DeltaPrefetcherConfig &Config);
+private:
+  std::vector<int> Table;
+};
+// trident-analyze: not-a-hw-table(abstract interface; concrete units
+// declare their own bounded tables)
+class AbstractPrefetcher {
+public:
+  virtual ~AbstractPrefetcher();
+};
+} // namespace trident
+#endif

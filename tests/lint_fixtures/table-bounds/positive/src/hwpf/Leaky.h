@@ -1,0 +1,11 @@
+#ifndef FIX_LEAKY_PF_H
+#define FIX_LEAKY_PF_H
+#include <vector>
+namespace trident {
+// A *Prefetcher class is a hardware unit: its tables must declare a
+// capacity bound. This one grows without limit and must be flagged.
+class LeakyPrefetcher {
+  std::vector<int> History;
+};
+} // namespace trident
+#endif

@@ -35,9 +35,11 @@ SimConfig budget(SimConfig C, uint64_t N = 300'000) {
 } // namespace
 
 TEST(Sim, ConfigNames) {
-  EXPECT_STREQ(hwPfConfigName(HwPfConfig::None), "no-hwpf");
-  EXPECT_STREQ(hwPfConfigName(HwPfConfig::Sb4x4), "sb4x4");
-  EXPECT_STREQ(hwPfConfigName(HwPfConfig::Sb8x8), "sb8x8");
+  EXPECT_EQ(hwPfConfigName("none"), "no-hwpf");
+  EXPECT_EQ(hwPfConfigName(""), "no-hwpf");
+  EXPECT_EQ(hwPfConfigName("sb4x4"), "sb4x4");
+  EXPECT_EQ(hwPfConfigName("sb8x8"), "sb8x8");
+  EXPECT_EQ(hwPfConfigName("dcpt:entries=64"), "dcpt:entries=64");
   EXPECT_STREQ(prefetchModeName(PrefetchMode::SelfRepairing),
                "self-repairing");
 
@@ -75,12 +77,26 @@ TEST(Sim, BaselineConfigsMatchTable1) {
 
 TEST(Sim, HardwarePrefetchingHelpsStreams) {
   SimConfig None = budget(SimConfig::hwBaseline());
-  None.HwPf = HwPfConfig::None;
+  None.HwPf = "none";
   SimResult RN = runSimulation(streamWorkload(), None);
   SimResult R8 = runSimulation(streamWorkload(),
                                budget(SimConfig::hwBaseline()));
   EXPECT_GT(speedup(R8, RN), 1.5);
-  EXPECT_GT(R8.HwPf.ProbeHits, 100u);
+  EXPECT_EQ(R8.HwPf.Prefetcher, "stream-buffers-8x8");
+  EXPECT_GT(R8.HwPf.get("probe_hits"), 100u);
+}
+
+TEST(Sim, RegistrySpecEquivalentToNamedConfig) {
+  // "sb8x8" and the parameterized "stream" spec with the same knobs build
+  // the same unit: the full stat registries must export byte-identically.
+  SimConfig Named = budget(SimConfig::hwBaseline(), 50'000);
+  SimConfig Spec = Named;
+  Spec.HwPf = "stream:buffers=8,depth=8";
+  SimResult RN = runSimulation(streamWorkload(), Named);
+  SimResult RS = runSimulation(streamWorkload(), Spec);
+  ASSERT_TRUE(RN.Registry && RS.Registry);
+  EXPECT_EQ(RN.Registry->toJsonl(), RS.Registry->toJsonl());
+  EXPECT_EQ(RN.RegChecksum, RS.RegChecksum);
 }
 
 TEST(Sim, RobSizeLimitsMemoryParallelism) {
@@ -99,7 +115,7 @@ TEST(Sim, RobSizeLimitsMemoryParallelism) {
   Workload W{"mlp", "", B.finish(), [](DataMemory &) {}};
 
   SimConfig Big = budget(SimConfig::hwBaseline(), 100'000);
-  Big.HwPf = HwPfConfig::None;
+  Big.HwPf = "none";
   SimConfig Small = Big;
   Small.Core.RobSize = 8;
   SimResult RBig = runSimulation(W, Big);

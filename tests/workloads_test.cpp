@@ -123,7 +123,7 @@ TEST(Generators, StrideLoopRunsAndMisses) {
   S.Stride = 128;
   Workload W = makeStrideLoopWorkload(S);
   SimConfig C = SimConfig::hwBaseline();
-  C.HwPf = HwPfConfig::None;
+  C.HwPf = "none";
   C.WarmupInstructions = 5'000;
   C.SimInstructions = 60'000;
   SimResult R = runSimulation(W, C);

@@ -60,6 +60,16 @@ def main() -> int:
     old = load_run(args.baseline)
     new = load_run(args.new)
 
+    # Runs with different hardware prefetchers are not comparable at all:
+    # refuse rather than print a silently-misleading delta table. A run
+    # without the field predates the arsenal and implicitly means sb8x8.
+    old_hwpf = old.get("hwpf", "sb8x8")
+    new_hwpf = new.get("hwpf", "sb8x8")
+    if old_hwpf != new_hwpf:
+        print(f"FAIL: hwpf configs differ (baseline '{old_hwpf}' vs new "
+              f"'{new_hwpf}'); throughput numbers are not comparable")
+        return 1
+
     if old.get("instr_per_run") != new.get("instr_per_run"):
         print(f"note: instruction budgets differ "
               f"({old.get('instr_per_run')} vs {new.get('instr_per_run')}); "

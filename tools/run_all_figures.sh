@@ -4,13 +4,30 @@
 # the full experimental methodology. Also runs host_throughput, whose JSON
 # line tracks simulator performance, and fails if any binary fails.
 #
-# Usage: tools/run_all_figures.sh [build-dir]
+# Usage: tools/run_all_figures.sh [build-dir] [--hwpf LIST]
+#   --hwpf LIST          comma list restricting fig9's prefetcher axis
+#                        (exported as TRIDENT_FIG9_HWPF; e.g.
+#                        --hwpf sb8x8,dcpt,tskid); default: full arsenal
 #   TRIDENT_BENCH_JOBS   worker threads per binary (default: all cores)
 #   TRIDENT_BENCH_INSTR  override the full per-run budget before quartering
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build}"
+BUILD_DIR="$REPO_ROOT/build"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --hwpf)
+      [[ $# -ge 2 ]] || { echo "error: --hwpf needs a value" >&2; exit 2; }
+      export TRIDENT_FIG9_HWPF="$2"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j

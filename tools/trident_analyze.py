@@ -906,7 +906,7 @@ def rule_hot_path(fm: FileModel, ctx) -> list:
 
 
 TABLE_SUFFIX = re.compile(r"\w*(?:Table|Cache|Buffer|Tlb|Predictor|"
-                          r"Profiler)$")
+                          r"Profiler|Prefetcher)$")
 BOUND_TOKENS = re.compile(
     r"(\w*Entries|SizeBytes|MaxLength|[Cc]apacity|NumStreams|NumBuffers|"
     r"[Dd]epth\b)")

@@ -40,7 +40,13 @@ void usage(const char *Prog) {
       "  --mode MODE            hw | none | basic | whole-object |\n"
       "                         self-repairing   (default self-repairing;\n"
       "                         'hw' disables Trident entirely)\n"
-      "  --hwpf CFG             none | 4x4 | 8x8  (default 8x8)\n"
+      "  --hwpf SPEC            hardware-prefetcher spec (default sb8x8);\n"
+      "                         'none' disables, 'list' enumerates the\n"
+      "                         registered arsenal; knobs attach as\n"
+      "                         name:k=v,k=v (e.g. dcpt:entries=64)\n"
+      "  --hwpf-feedback N      publish hwpf accuracy/coverage feedback\n"
+      "                         events every N commits and export the\n"
+      "                         hwpf.feedback.* stats (default 0 = off)\n"
       "  --instr N              committed instructions (default 2000000)\n"
       "  --warmup N             warmup instructions (default 100000)\n"
       "  --compare              also run the hw baseline and print speedup\n"
@@ -96,10 +102,12 @@ void printStats(const SimResult &R, bool Verbose) {
               (unsigned long long)M.HardwarePrefetches);
   std::printf("memory fetches   %llu\n",
               (unsigned long long)M.MemoryFetches);
-  std::printf("sb probe hits    %llu (allocs %llu, lines %llu)\n",
-              (unsigned long long)R.HwPf.ProbeHits,
-              (unsigned long long)R.HwPf.Allocations,
-              (unsigned long long)R.HwPf.LinesPrefetched);
+  if (!R.HwPf.Prefetcher.empty()) {
+    std::printf("hwpf unit        %s\n", R.HwPf.Prefetcher.c_str());
+    for (const auto &KV : R.HwPf.Counters)
+      std::printf("  %-14s %llu\n", KV.first.c_str(),
+                  (unsigned long long)KV.second);
+  }
   std::printf("exposed lat/load %.2f cycles\n",
               M.DemandLoads
                   ? double(M.TotalExposedLatency) / double(M.DemandLoads)
@@ -175,7 +183,8 @@ void printStats(const SimResult &R, bool Verbose) {
 int main(int argc, char **argv) {
   std::string WorkloadName;
   std::string Mode = "self-repairing";
-  std::string HwPf = "8x8";
+  std::string HwPf = "sb8x8";
+  uint64_t HwPfFeedback = 0;
   uint64_t Instr = 2'000'000, Warmup = 100'000;
   bool Compare = false, Verbose = false, List = false;
   bool NoLink = false, EnableTlb = false, SeedEstimate = false,
@@ -203,6 +212,8 @@ int main(int argc, char **argv) {
       Mode = needValue(I);
     else if (!std::strcmp(A, "--hwpf"))
       HwPf = needValue(I);
+    else if (!std::strcmp(A, "--hwpf-feedback"))
+      HwPfFeedback = std::strtoull(needValue(I), nullptr, 10);
     else if (!std::strcmp(A, "--instr"))
       Instr = std::strtoull(needValue(I), nullptr, 10);
     else if (!std::strcmp(A, "--warmup"))
@@ -253,6 +264,16 @@ int main(int argc, char **argv) {
     std::printf("%s", T.render().c_str());
     return 0;
   }
+  if (HwPf == "list") {
+    Table T({"prefetcher", "knobs", "description"});
+    for (const std::string &N : PrefetcherRegistry::instance().names()) {
+      const PrefetcherRegistry::Info *Inf =
+          PrefetcherRegistry::instance().lookup(N);
+      T.addRow({N, Inf->Knobs.empty() ? "-" : Inf->Knobs, Inf->Summary});
+    }
+    std::printf("%s", T.render().c_str());
+    return 0;
+  }
   if (WorkloadName.empty()) {
     usage(argv[0]);
     return 2;
@@ -282,16 +303,20 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  if (HwPf == "none")
-    C.HwPf = HwPfConfig::None;
-  else if (HwPf == "4x4")
-    C.HwPf = HwPfConfig::Sb4x4;
-  else if (HwPf == "8x8")
-    C.HwPf = HwPfConfig::Sb8x8;
-  else {
-    std::fprintf(stderr, "error: unknown hwpf '%s'\n", HwPf.c_str());
-    return 2;
+  {
+    // Validate the spec up front so a typo fails fast with the registry's
+    // own message instead of mid-run inside the machine wiring.
+    std::string PfError;
+    PrefetcherEnv Env;
+    if (!PrefetcherRegistry::instance().create(HwPf, Env, &PfError) &&
+        !PrefetcherRegistry::isNone(HwPf)) {
+      std::fprintf(stderr, "error: bad --hwpf spec '%s': %s\n", HwPf.c_str(),
+                   PfError.c_str());
+      return 2;
+    }
+    C.HwPf = HwPf;
   }
+  C.Core.HwPfFeedbackIntervalCommits = HwPfFeedback;
 
   C.SimInstructions = Instr;
   C.WarmupInstructions = Warmup;
