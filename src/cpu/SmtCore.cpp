@@ -400,11 +400,11 @@ bool SmtCore::tryIssue(unsigned CtxIdx, Context &C, IssueBudget &B,
     // subscribed; see FeedbackEvery). Main context only, so the sampling
     // clock is the reported instruction count.
     if (FeedbackEvery != 0 && CtxIdx == 0) {
-      if (FeedbackCountdown <= 1 + I.ExtraCommits) {
+      if (FeedbackCountdown <= 1u + I.ExtraCommits) {
         Bus->publish(HardwareEvent::hwPfFeedback(Mem.feedback(), Now));
         FeedbackCountdown = FeedbackEvery;
       } else {
-        FeedbackCountdown -= 1 + I.ExtraCommits;
+        FeedbackCountdown -= 1u + I.ExtraCommits;
       }
     }
   }

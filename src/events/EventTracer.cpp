@@ -56,6 +56,11 @@ void EventTracer::onEvent(const HardwareEvent &E) {
     R.Arg = E.PfFb.Issued;
     R.Extra = E.PfFb.Useful + E.PfFb.Late;
     break;
+  case EventKind::SelectorDecision:
+    R.Arg = E.Decision.Epoch;
+    R.Extra = (static_cast<uint64_t>(E.Decision.PrevArm) << 16) |
+              E.Decision.ChosenArm;
+    break;
   case EventKind::Commit:
   case EventKind::HelperDone:
   case EventKind::NumKinds:

@@ -50,6 +50,7 @@ enum class EventKind : uint8_t {
   DelinquentLoad, ///< DLT filter fired: a hot-trace load keeps missing.
   HelperDone,     ///< The helper-thread work stub ran to completion.
   HwPfFeedback,   ///< Periodic hardware-prefetcher effectiveness sample.
+  SelectorDecision, ///< Control plane picked a prefetcher for the next epoch.
   NumKinds,       ///< Sentinel; not a real event.
 };
 
@@ -87,6 +88,8 @@ inline const char *eventKindName(EventKind K) {
     return "helper-done";
   case EventKind::HwPfFeedback:
     return "hwpf-feedback";
+  case EventKind::SelectorDecision:
+    return "selector-decision";
   case EventKind::NumKinds:
     break;
   }
@@ -136,6 +139,27 @@ struct HwPfFeedbackSample {
   }
 };
 
+/// Payload of a SelectorDecision event: one epoch-boundary decision of the
+/// phase-aware control plane (src/control). Arm indices refer to the
+/// selector's sorted arsenal list; kNoArm marks "no arsenal unit attached"
+/// (the state before the first decision when the run started without one).
+/// Like HwPfFeedbackSample it shares the union slot below, so members
+/// carry no initializers (the factory assigns all three) to stay trivially
+/// default-constructible.
+struct SelectorDecisionRecord {
+  uint32_t Epoch;
+  uint16_t ChosenArm;
+  uint16_t PrevArm;
+
+  static constexpr uint16_t kNoArm = 0xFFFF;
+
+  friend bool operator==(const SelectorDecisionRecord &A,
+                         const SelectorDecisionRecord &B) {
+    return A.Epoch == B.Epoch && A.ChosenArm == B.ChosenArm &&
+           A.PrevArm == B.PrevArm;
+  }
+};
+
 /// One hardware event. A tagged record rather than a class hierarchy: the
 /// hot path constructs these on the stack per commit, so the layout is
 /// flat and the kind-specific fields simply go unused for other kinds.
@@ -162,6 +186,7 @@ struct HardwareEvent {
   union {
     HotTraceCandidate Cand{}; ///< HotTrace only.
     HwPfFeedbackSample PfFb;  ///< HwPfFeedback only (by value: queue-safe).
+    SelectorDecisionRecord Decision; ///< SelectorDecision only (by value).
   };
 
   static HardwareEvent commit(unsigned Ctx, Addr PC, const Instruction &I,
@@ -236,6 +261,15 @@ struct HardwareEvent {
     E.Kind = EventKind::HelperDone;
     E.Ctx = static_cast<uint8_t>(Ctx);
     E.Time = Now;
+    return E;
+  }
+
+  static HardwareEvent selectorDecision(const SelectorDecisionRecord &D,
+                                        Cycle Now) {
+    HardwareEvent E;
+    E.Kind = EventKind::SelectorDecision;
+    E.Time = Now;
+    E.Decision = D;
     return E;
   }
 

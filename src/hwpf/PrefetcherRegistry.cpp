@@ -10,8 +10,11 @@
 #include "hwpf/EnhancedStream.h"
 #include "hwpf/StreamBuffer.h"
 #include "hwpf/Tskid.h"
+#include "support/Check.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 using namespace trident;
 
@@ -43,13 +46,41 @@ bool PrefetcherSpec::parse(const std::string &Spec, PrefetcherSpec &Out,
     }
     std::string Key = Pair.substr(0, Eq);
     std::string Val = Pair.substr(Eq + 1);
+    // Signs are rejected up front: strtoull silently *accepts* "-1" and
+    // wraps it to 2^64-1, which would then truncate to a huge unsigned in
+    // every factory. Knobs are unsigned quantities; make that explicit.
+    if (Val[0] == '-' || Val[0] == '+') {
+      if (Error)
+        *Error = "knob '" + Key + "' has signed value '" + Val +
+                 "' in spec '" + Spec + "' (knobs are unsigned)";
+      return false;
+    }
     char *End = nullptr;
+    errno = 0;
     unsigned long long V = std::strtoull(Val.c_str(), &End, 0);
     if (End == Val.c_str() || *End != '\0') {
       if (Error)
         *Error = "knob '" + Key + "' has non-integer value '" + Val +
                  "' in spec '" + Spec + "'";
       return false;
+    }
+    // Every consumer narrows knobs to unsigned (32-bit); values past that
+    // would truncate silently, so the parser owns the range check.
+    if (errno == ERANGE || V > std::numeric_limits<unsigned>::max()) {
+      if (Error)
+        *Error = "knob '" + Key + "' value '" + Val + "' in spec '" + Spec +
+                 "' is out of range (max " +
+                 std::to_string(std::numeric_limits<unsigned>::max()) + ")";
+      return false;
+    }
+    // Duplicate knobs would alias two different-looking specs to one
+    // config (knobOr is first-wins), corrupting campaign fingerprints.
+    for (const auto &K : Out.Knobs) {
+      if (K.first == Key) {
+        if (Error)
+          *Error = "duplicate knob '" + Key + "' in spec '" + Spec + "'";
+        return false;
+      }
     }
     Out.Knobs.emplace_back(Key, static_cast<uint64_t>(V));
     if (Comma == std::string::npos)
@@ -210,7 +241,14 @@ PrefetcherRegistry &PrefetcherRegistry::instance() {
 }
 
 void PrefetcherRegistry::add(Info I) {
-  Entries[I.Name] = std::move(I);
+  // Re-registration is a programming error: a silent overwrite would let
+  // one translation unit quietly shadow another's factory, and every spec
+  // naming the entry would resolve to a different unit depending on
+  // registration order.
+  auto [It, Inserted] = Entries.emplace(I.Name, Info{});
+  TRIDENT_CHECK(Inserted, "duplicate prefetcher registration '%s'",
+                I.Name.c_str());
+  It->second = std::move(I);
 }
 
 std::vector<std::string> PrefetcherRegistry::names() const {

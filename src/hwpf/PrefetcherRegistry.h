@@ -82,7 +82,9 @@ public:
   /// The process-wide registry, with the built-in arsenal registered.
   static PrefetcherRegistry &instance();
 
-  /// Registers (or replaces) an entry.
+  /// Registers an entry. Re-registering a name is a programming error
+  /// (TRIDENT_CHECK): silent replacement would make spec resolution depend
+  /// on registration order.
   void add(Info I);
 
   /// Registered names, sorted.

@@ -71,6 +71,16 @@ MemorySystem::MemorySystem(const MemSystemConfig &Cfg)
 }
 
 void MemorySystem::attachPrefetcher(std::unique_ptr<HwPrefetcher> NewPf) {
+  // Mid-run swaps (the control plane's selector) are legal *between*
+  // accesses only: replacing the unit here destroys the object whose
+  // trainOnMiss/probe frame would still be on the stack inside access().
+  // MSHR state (OutstandingFills) and the bus horizon (BusNextFree) live
+  // in MemorySystem, not in the unit, so in-flight fills issued by the
+  // outgoing prefetcher keep their timing across the swap; only the
+  // unit's private buffers (untransferred prefetched lines) are dropped,
+  // exactly as if real hardware power-gated the old engine.
+  TRIDENT_DCHECK(!InAccess,
+                 "attachPrefetcher called from inside MemorySystem::access");
   Pf = std::move(NewPf);
   PfTrainsOnAccess = Pf && Pf->wantsAccessTraining();
   PfTrainsOnFill = Pf && Pf->wantsFillTraining();
@@ -163,6 +173,15 @@ Cycle MemorySystem::fetchBeyondL1(Addr LineAddr, Cycle Now, AccessKind Kind) {
 
 AccessResult MemorySystem::access(Addr PC, Addr ByteAddr, AccessKind Kind,
                                   Cycle Now) {
+#if TRIDENT_DCHECKS_ENABLED
+  // Marks the window in which attachPrefetcher must not run (see there);
+  // scoped so every early return clears it.
+  struct AccessScope {
+    bool &Flag;
+    explicit AccessScope(bool &F) : Flag(F) { Flag = true; }
+    ~AccessScope() { Flag = false; }
+  } Scope(InAccess);
+#endif
   const bool DemandLoad = Kind == AccessKind::DemandLoad;
   if (DemandLoad)
     ++Stats.DemandLoads;

@@ -173,6 +173,10 @@ public:
   explicit MemorySystem(const MemSystemConfig &Config);
 
   /// Installs (or clears) the hardware prefetcher. Ownership transfers.
+  /// Safe mid-run between accesses: MSHR/bus state and the HwPfFeedback
+  /// referee counters are owned here and survive the swap; only the
+  /// outgoing unit's private buffers are dropped. Must not be called from
+  /// inside access() (checked).
   void attachPrefetcher(std::unique_ptr<HwPrefetcher> Pf);
   HwPrefetcher *prefetcher() { return Pf.get(); }
 
@@ -232,6 +236,10 @@ private:
   /// plain bool test instead of a virtual call per access.
   bool PfTrainsOnAccess = false;
   bool PfTrainsOnFill = false;
+  /// True while access() is on the stack; attachPrefetcher checks it so a
+  /// mid-run swap can never destroy the unit currently being trained
+  /// (checked builds only — no hot-path cost in release).
+  bool InAccess = false;
   MemStats Stats;
   HwPfFeedback Fb;
 

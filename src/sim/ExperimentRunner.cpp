@@ -122,6 +122,17 @@ void addRuntimeConfig(Fnv1a &F, const RuntimeConfig &C) {
   F.add(C.PhaseChangeThreshold);
 }
 
+void addSelectorConfig(Fnv1a &F, const SelectorConfig &C) {
+  F.add(static_cast<uint64_t>(C.Policy));
+  F.add(C.SamplesPerEpoch);
+  F.add(C.IntervalCommits);
+  F.add(C.Seed);
+  F.add(C.EpsilonPermille);
+  F.add(C.Ucb);
+  F.add(C.EmaPermille);
+  F.add(C.OracleUnit);
+}
+
 void addFaultPlan(Fnv1a &F, const FaultPlan &P) {
   F.add(P.Seed);
   F.add(static_cast<uint64_t>(P.Actions.size()));
@@ -154,7 +165,45 @@ uint64_t trident::configFingerprint(const SimConfig &C) {
   F.add(C.WarmupInstructions);
   F.add(C.SimInstructions);
   addFaultPlan(F, C.Faults);
+  addSelectorConfig(F, C.Selector);
   return F.hash();
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle selector resolution
+//===----------------------------------------------------------------------===//
+
+SimConfig trident::resolveSelectorOracle(ExperimentRunner &R,
+                                         const Workload &W,
+                                         const SimConfig &Config) {
+  if (Config.Selector.Policy != SelectorPolicy::Oracle ||
+      !Config.Selector.OracleUnit.empty())
+    return Config;
+  // First pass: every static arsenal unit over the same workload/config
+  // (selector off — these are exactly the static cells a sweep like fig10
+  // also runs, so the memo cache makes this pass nearly free there).
+  const std::vector<std::string> Arms =
+      PrefetcherRegistry::instance().arsenalNames();
+  std::vector<ExperimentJob> Jobs;
+  Jobs.reserve(Arms.size());
+  for (const std::string &Arm : Arms) {
+    SimConfig C = Config;
+    C.Selector = SelectorConfig();
+    C.HwPf = Arm;
+    Jobs.push_back(ExperimentJob{W, C});
+  }
+  std::vector<std::shared_ptr<const SimResult>> Results = R.runBatch(Jobs);
+  // Pick the unit minimizing total exposed latency — the metric the
+  // selector rewards. Strict < keeps ties on the first (lexicographically
+  // smallest) arm, so resolution is deterministic.
+  size_t Best = 0;
+  for (size_t I = 1; I < Results.size(); ++I)
+    if (Results[I]->Mem.TotalExposedLatency <
+        Results[Best]->Mem.TotalExposedLatency)
+      Best = I;
+  SimConfig Resolved = Config;
+  Resolved.Selector.OracleUnit = Arms[Best];
+  return Resolved;
 }
 
 //===----------------------------------------------------------------------===//

@@ -83,6 +83,17 @@ struct ExperimentJob {
   SimConfig Config;
 };
 
+class ExperimentRunner;
+
+/// Resolves an oracle-selector config for \p W: runs every static arsenal
+/// unit through \p R (first pass, memoized) and returns a copy of
+/// \p Config with Selector.OracleUnit pinned to the unit with the lowest
+/// total exposed latency. Configs that are not an unresolved oracle pass
+/// through unchanged. MUST run at job-construction time — runBatch is not
+/// reentrant, so the oracle can never resolve from inside a worker task.
+SimConfig resolveSelectorOracle(ExperimentRunner &R, const Workload &W,
+                                const SimConfig &Config);
+
 struct ExperimentRunnerOptions {
   /// Worker threads. 0 = auto: $TRIDENT_BENCH_JOBS if set and nonzero,
   /// otherwise std::thread::hardware_concurrency().

@@ -7,6 +7,7 @@
 #include "sim/Simulation.h"
 
 #include "branch/BranchPredictor.h"
+#include "control/PhaseMonitor.h"
 #include "support/Check.h"
 #include "trident/CodeCache.h"
 
@@ -38,12 +39,14 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   W.Init(Data);
 
   MemorySystem Mem(Config.Mem);
+  // Resolve the prefetcher spec through the arsenal registry; the TLB
+  // model (when on) makes page-bounded units stop streams at pages. The
+  // env outlives this block: the phase monitor rebuilds units with it at
+  // every swap.
+  PrefetcherEnv Env;
+  Env.PageBounded = Config.Mem.Tlb.Enable;
+  Env.PageBits = Config.Mem.Tlb.PageBits;
   {
-    // Resolve the prefetcher spec through the arsenal registry; the TLB
-    // model (when on) makes page-bounded units stop streams at pages.
-    PrefetcherEnv Env;
-    Env.PageBounded = Config.Mem.Tlb.Enable;
-    Env.PageBits = Config.Mem.Tlb.PageBits;
     std::string PfError;
     std::unique_ptr<HwPrefetcher> Unit =
         PrefetcherRegistry::instance().create(Config.HwPf, Env, &PfError);
@@ -54,9 +57,16 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
       Mem.attachPrefetcher(std::move(Unit));
   }
 
+  // An enabled selector needs the feedback heartbeat; a local copy keeps
+  // the caller's config untouched (the memo-cache fingerprint must stay
+  // stable across runSimulation).
+  CoreConfig CoreCfg = Config.Core;
+  if (Config.Selector.enabled() && CoreCfg.HwPfFeedbackIntervalCommits == 0)
+    CoreCfg.HwPfFeedbackIntervalCommits = Config.Selector.IntervalCommits;
+
   CodeCache CC;
   CodeImage Image(Prog, CC);
-  SmtCore Core(Config.Core, Image, Data, Mem);
+  SmtCore Core(CoreCfg, Image, Data, Mem);
   MetaPredictor Predictor;
   Core.setBranchPredictor(&Predictor);
 
@@ -74,6 +84,18 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
     RC.L1HitLatency = Config.Mem.L1.HitLatency;
     Runtime = std::make_unique<TridentRuntime>(RC, Prog, Core, CC);
     Runtime->attach(Bus);
+  }
+  // The control plane: constructed only when a selector policy is on, so
+  // static runs build exactly the pre-control-plane machine. Subscribed
+  // after the runtime's monitors (they never touch the HwPfFeedback kind,
+  // but keeping one subscription order is cheap insurance) and before the
+  // injector, so a fault landing on the same cycle perturbs the post-
+  // decision machine.
+  std::unique_ptr<PhaseMonitor> Monitor;
+  if (Config.Selector.enabled()) {
+    Monitor = std::make_unique<PhaseMonitor>(Config.Selector, Mem, Env,
+                                             Config.HwPf);
+    Monitor->attach(Bus);
   }
   // Fault injection: constructed only for a non-empty plan, so fault-free
   // runs build exactly the pre-fault-injection machine. Subscribed after
@@ -114,6 +136,10 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   Bus.clearCounts();
   if (Runtime)
     Runtime->clearStats();
+  // After Mem.clearStats(): the monitor's delta baselines re-zero with
+  // the counters they shadow (the policy keeps its warmup learning).
+  if (Monitor)
+    Monitor->onMeasurementStart();
   Cycle Start = Core.now();
   SmtCore::StopReason Stop = Core.run(Config.SimInstructions);
   Cycle End = Core.now();
@@ -131,6 +157,8 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
                        ? std::string("trident-") +
                              prefetchModeName(Config.Runtime.Mode)
                        : hwPfConfigName(Config.HwPf);
+  if (Config.Selector.enabled())
+    Res.ConfigName += "+" + Config.Selector.shortName();
   Res.Instructions = Core.stats(0).CommittedOriginal;
   TRIDENT_CHECK(Stop != SmtCore::StopReason::CommitTarget ||
                     Res.Instructions >= Config.SimInstructions,
@@ -157,6 +185,11 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   Res.BranchMispredicts = Core.stats(0).BranchMispredicts;
   if (Injector)
     Res.Faults = Injector->stats();
+  if (Monitor) {
+    Res.Selector = Monitor->stats();
+    Res.SelectorTrace = Monitor->trace();
+    Res.SelectorFinalUnit = Monitor->currentUnitName();
+  }
   Res.Halted = Stop == SmtCore::StopReason::Halted;
   uint64_t H = 1469598103934665603ull;
   for (unsigned R = 0; R < reg::NumRegs; ++R) {
@@ -184,7 +217,7 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   // The feedback block is opt-in (the sampling knob): the default export
   // set — and therefore the golden corpus — is untouched unless a config
   // explicitly turns the channel on.
-  if (Config.Core.HwPfFeedbackIntervalCommits > 0 && Mem.prefetcher()) {
+  if (CoreCfg.HwPfFeedbackIntervalCommits > 0 && Mem.prefetcher()) {
     Reg->setCounter("hwpf.feedback.issued", Res.PfFeedback.Issued);
     Reg->setCounter("hwpf.feedback.useful", Res.PfFeedback.Useful);
     Reg->setCounter("hwpf.feedback.late", Res.PfFeedback.Late);
@@ -216,6 +249,11 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
   // (the disabled-injector identity contract).
   if (Injector && Res.Faults.Injected > 0)
     Res.Faults.registerInto(*Reg, "faults.");
+  // "selector." lines appear only when the control plane was built, the
+  // same only-when-on pattern: static runs export byte-identically to a
+  // pre-control-plane build.
+  if (Monitor)
+    Res.Selector.registerInto(*Reg, "selector.");
   Res.Registry = std::move(Reg);
   return Res;
 }

@@ -17,12 +17,15 @@
 #ifndef TRIDENT_SIM_SIMULATION_H
 #define TRIDENT_SIM_SIMULATION_H
 
+#include "control/PrefetcherSelector.h"
 #include "core/TridentRuntime.h"
 #include "events/EventTracer.h"
 #include "support/StatRegistry.h"
 #include "faults/FaultInjector.h"
 #include "hwpf/PrefetcherRegistry.h"
 #include "workloads/Workloads.h"
+
+#include <vector>
 
 #include <array>
 #include <memory>
@@ -52,6 +55,13 @@ struct SimConfig {
   /// run is bit-identical to a pre-fault-injection build). Trigger cycles
   /// are absolute, warmup included.
   FaultPlan Faults;
+  /// Phase-aware prefetcher selection (src/control). Static (the default)
+  /// builds no control plane at all, so runs are byte-identical to a
+  /// pre-control-plane build; bandit/oracle swap arsenal units at epoch
+  /// boundaries. An enabled selector with a zero core feedback interval
+  /// runs the core at Selector.IntervalCommits (the selector's heartbeat)
+  /// without mutating this config.
+  SelectorConfig Selector;
 
   /// The paper's baseline: 8x8 stream buffers, no software prefetching.
   static SimConfig hwBaseline();
@@ -81,6 +91,15 @@ struct SimResult {
   uint64_t BranchMispredicts = 0;
   /// Fault-injection accounting (all zero when no plan was configured).
   FaultStats Faults;
+  /// Control-plane accounting (all zero when the selector was static).
+  SelectorStats Selector;
+  /// The selector's epoch-boundary decision sequence over the measurement
+  /// window — the determinism artifact: identical seeds must reproduce
+  /// this byte-for-byte under serial and parallel runners.
+  std::vector<SelectorDecisionRecord> SelectorTrace;
+  /// Arsenal unit attached when the run ended ("" without a selector or
+  /// when the run ended unit-less).
+  std::string SelectorFinalUnit;
   /// FNV-style hash of the main context's final register file — used by
   /// tests to check that dynamic optimization never changes semantics.
   uint64_t RegChecksum = 0;

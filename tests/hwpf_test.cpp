@@ -466,6 +466,65 @@ TEST(PrefetcherRegistry, BadKnobsAreRejected) {
   EXPECT_NE(Error.find("malformed knob"), std::string::npos);
 }
 
+TEST(PrefetcherRegistry, SignedKnobValuesAreRejected) {
+  // strtoull would happily wrap "-1" to 2^64-1 and the factory would then
+  // truncate it to a huge unsigned depth; the parser owns this rejection.
+  std::string Error;
+  EXPECT_EQ(PrefetcherRegistry::instance().create("sb8x8:depth=-1",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("knobs are unsigned"), std::string::npos) << Error;
+  EXPECT_EQ(PrefetcherRegistry::instance().create("dcpt:entries=+4",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("knobs are unsigned"), std::string::npos) << Error;
+}
+
+TEST(PrefetcherRegistry, OutOfRangeKnobValuesAreRejected) {
+  std::string Error;
+  // 2^33: fits in uint64 but would truncate when narrowed to unsigned.
+  EXPECT_EQ(PrefetcherRegistry::instance().create("sb8x8:depth=8589934592",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("out of range"), std::string::npos) << Error;
+  // Past 2^64: strtoull saturates and sets ERANGE.
+  EXPECT_EQ(PrefetcherRegistry::instance().create(
+                "sb8x8:depth=99999999999999999999999", PrefetcherEnv{},
+                &Error),
+            nullptr);
+  EXPECT_NE(Error.find("out of range"), std::string::npos) << Error;
+  // The boundary itself is fine.
+  PrefetcherSpec S;
+  EXPECT_TRUE(PrefetcherSpec::parse("sb8x8:depth=4294967295", S, &Error));
+  EXPECT_EQ(S.knobOr("depth", 0), 4294967295ull);
+}
+
+TEST(PrefetcherRegistry, DuplicateKnobsAreRejected) {
+  // knobOr is first-wins, so "depth=4,depth=16" used to silently mean
+  // depth=4 while fingerprinting as a distinct config.
+  std::string Error;
+  EXPECT_EQ(PrefetcherRegistry::instance().create("sb8x8:depth=4,depth=16",
+                                                  PrefetcherEnv{}, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("duplicate knob 'depth'"), std::string::npos) << Error;
+  // Distinct knobs still parse.
+  PrefetcherSpec S;
+  EXPECT_TRUE(
+      PrefetcherSpec::parse("stream:buffers=4,depth=4", S, &Error));
+}
+
+TEST(PrefetcherRegistryDeathTest, ReRegisteringANameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PrefetcherRegistry::Info I;
+  I.Name = "sb8x8"; // collides with the built-in arsenal
+  I.Make = [](const PrefetcherSpec &, const PrefetcherEnv &,
+              std::string *) -> std::unique_ptr<HwPrefetcher> {
+    return nullptr;
+  };
+  EXPECT_DEATH(PrefetcherRegistry::instance().add(std::move(I)),
+               "duplicate prefetcher registration 'sb8x8'");
+}
+
 TEST(PrefetcherRegistry, PageBoundedEnvConfiguresStreamBuffers) {
   PrefetcherEnv Env;
   Env.PageBounded = true;
@@ -575,4 +634,62 @@ TEST(HwPfContract, FeedbackCountersTrackStreamBufferActivity) {
   M.clearStats();
   EXPECT_EQ(M.feedback().Issued, 0u);
   EXPECT_EQ(M.feedback().Useful + M.feedback().Late, 0u);
+}
+
+TEST(HwPfContract, MidRunSwapKeepsMemorySystemConsistent) {
+  // The control plane swaps units at epoch boundaries mid-run; the
+  // referee counters (feedback channel), the MSHR fill heap, and the bus
+  // schedule all live in MemorySystem, so they must survive the swap.
+  MemorySystem M(sbBackendConfig());
+  std::string Error;
+  auto U =
+      PrefetcherRegistry::instance().create("sb8x8", PrefetcherEnv{}, &Error);
+  ASSERT_TRUE(U) << Error;
+  M.attachPrefetcher(std::move(U));
+
+  Cycle Now = 0;
+  for (unsigned I = 0; I < 120; ++I) {
+    AccessResult R = M.access(0x100, 0x100000 + uint64_t(I) * 64,
+                              AccessKind::DemandLoad, Now);
+    EXPECT_GE(R.ReadyCycle, Now);
+    Now = R.ReadyCycle + 1;
+  }
+  const HwPfFeedback FbBefore = M.feedback();
+  EXPECT_GT(FbBefore.Issued, 0u);
+  const uint64_t LoadsBefore = M.stats().DemandLoads;
+
+  // Swap to a different unit with fills still conceptually in flight
+  // (the access above just scheduled one).
+  auto Next =
+      PrefetcherRegistry::instance().create("dcpt", PrefetcherEnv{}, &Error);
+  ASSERT_TRUE(Next) << Error;
+  M.attachPrefetcher(std::move(Next));
+  ASSERT_NE(M.prefetcher(), nullptr);
+  EXPECT_EQ(M.prefetcher()->name(), "dcpt");
+
+  // Referee counters are monotone across the swap, not reset.
+  const HwPfFeedback &FbAfter = M.feedback();
+  EXPECT_GE(FbAfter.Issued, FbBefore.Issued);
+  EXPECT_GE(FbAfter.Useful + FbAfter.Late, FbBefore.Useful + FbBefore.Late);
+
+  // The memory system keeps serving demand with sane timing, and demand
+  // accounting continues from where it was.
+  for (unsigned I = 0; I < 60; ++I) {
+    AccessResult R = M.access(0x200, 0x400000 + uint64_t(I) * 64,
+                              AccessKind::DemandLoad, Now);
+    EXPECT_GE(R.ReadyCycle, Now);
+    Now = R.ReadyCycle + 1;
+  }
+  EXPECT_EQ(M.stats().DemandLoads, LoadsBefore + 60);
+  // The new unit trains on the post-swap miss stream.
+  EXPECT_GT(M.prefetcher()->snapshotStats().get("misses_observed") +
+                M.prefetcher()->snapshotStats().get("pattern_matches") +
+                M.feedback().DemandMisses,
+            FbBefore.DemandMisses);
+
+  // Detaching entirely is also a legal mid-run transition.
+  M.attachPrefetcher(nullptr);
+  EXPECT_EQ(M.prefetcher(), nullptr);
+  AccessResult R = M.access(0x300, 0x800000, AccessKind::DemandLoad, Now);
+  EXPECT_GE(R.ReadyCycle, Now);
 }

@@ -1,0 +1,11 @@
+#ifndef FIX_MONITOR_H
+#define FIX_MONITOR_H
+#include "events/Record.h"
+#include "mem/Line.h"
+namespace trident {
+struct Monitor {
+  Record R;
+  Line L;
+};
+} // namespace trident
+#endif

@@ -1,0 +1,6 @@
+#ifndef FIX_SEL_H
+#define FIX_SEL_H
+namespace trident {
+struct Sel {};
+} // namespace trident
+#endif

@@ -1,0 +1,9 @@
+#ifndef FIX_LINE_H
+#define FIX_LINE_H
+#include "control/Sel.h"
+namespace trident {
+struct Line {
+  Sel S;
+};
+} // namespace trident
+#endif

@@ -43,6 +43,7 @@ FIGURES=(
   fig7_sensitivity_window
   fig8_sensitivity_dlt
   fig9_hw_vs_sw
+  fig10_selector
   ablation_adaptivity
   host_throughput
 )

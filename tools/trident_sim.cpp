@@ -47,6 +47,12 @@ void usage(const char *Prog) {
       "  --hwpf-feedback N      publish hwpf accuracy/coverage feedback\n"
       "                         events every N commits and export the\n"
       "                         hwpf.feedback.* stats (default 0 = off)\n"
+      "  --selector SPEC        phase-aware prefetcher selection (default\n"
+      "                         static = off): bandit[:knobs] swaps arsenal\n"
+      "                         units at epoch boundaries (knobs epoch,\n"
+      "                         interval, seed, eps, ucb, ema),\n"
+      "                         oracle[:knobs] replays every static unit\n"
+      "                         first and pins the best\n"
       "  --instr N              committed instructions (default 2000000)\n"
       "  --warmup N             warmup instructions (default 100000)\n"
       "  --compare              also run the hw baseline and print speedup\n"
@@ -83,6 +89,15 @@ void printStats(const SimResult &R, bool Verbose) {
               (unsigned long long)R.Instructions);
   std::printf("cycles           %llu\n", (unsigned long long)R.Cycles);
   std::printf("IPC              %.4f\n", R.Ipc);
+  // Printed outside --verbose: CI's selector smoke parses this line.
+  if (R.Selector.Samples > 0 || !R.SelectorFinalUnit.empty())
+    std::printf("selector         epochs=%llu swaps=%llu explorations=%llu "
+                "final=%s\n",
+                (unsigned long long)R.Selector.Epochs,
+                (unsigned long long)R.Selector.Swaps,
+                (unsigned long long)R.Selector.Explorations,
+                R.SelectorFinalUnit.empty() ? "none"
+                                            : R.SelectorFinalUnit.c_str());
   if (!Verbose)
     return;
 
@@ -184,6 +199,7 @@ int main(int argc, char **argv) {
   std::string WorkloadName;
   std::string Mode = "self-repairing";
   std::string HwPf = "sb8x8";
+  std::string Selector;
   uint64_t HwPfFeedback = 0;
   uint64_t Instr = 2'000'000, Warmup = 100'000;
   bool Compare = false, Verbose = false, List = false;
@@ -214,6 +230,8 @@ int main(int argc, char **argv) {
       HwPf = needValue(I);
     else if (!std::strcmp(A, "--hwpf-feedback"))
       HwPfFeedback = std::strtoull(needValue(I), nullptr, 10);
+    else if (!std::strcmp(A, "--selector"))
+      Selector = needValue(I);
     else if (!std::strcmp(A, "--instr"))
       Instr = std::strtoull(needValue(I), nullptr, 10);
     else if (!std::strcmp(A, "--warmup"))
@@ -317,6 +335,14 @@ int main(int argc, char **argv) {
     C.HwPf = HwPf;
   }
   C.Core.HwPfFeedbackIntervalCommits = HwPfFeedback;
+  if (!Selector.empty()) {
+    std::string SelError;
+    if (!SelectorConfig::parse(Selector, C.Selector, &SelError)) {
+      std::fprintf(stderr, "error: bad --selector spec '%s': %s\n",
+                   Selector.c_str(), SelError.c_str());
+      return 2;
+    }
+  }
 
   C.SimInstructions = Instr;
   C.WarmupInstructions = Warmup;
@@ -354,6 +380,14 @@ int main(int argc, char **argv) {
               (unsigned long long)Instr, onOff(EnableTlb), onOff(!NoLink));
 
   Workload W = makeWorkload(WorkloadName);
+  if (C.Selector.Policy == SelectorPolicy::Oracle) {
+    // Two-pass oracle: replay every static arsenal unit (memoized, so the
+    // batch below reuses them) and pin the best before the real run.
+    ExperimentRunner Resolver;
+    C = resolveSelectorOracle(Resolver, W, C);
+    std::printf("selector oracle: pinned unit %s\n\n",
+                C.Selector.OracleUnit.c_str());
+  }
   SimResult R, RB;
   if (!TraceOut.empty()) {
     // Tracing runs outside the memoizing runner: the tracer observes one
