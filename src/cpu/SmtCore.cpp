@@ -201,7 +201,8 @@ Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
     // warm the hierarchy but are not demand loads of the program.
     AccessKind Kind =
         I.Synthetic ? AccessKind::SoftwarePrefetch : AccessKind::DemandLoad;
-    AccessResult R = Mem.access(PC, EA, Kind, EffNow);
+    AccessResult R =
+        Mem.access(PC + Config.MemBias, EA + Config.MemBias, Kind, EffNow);
     Done = R.ReadyCycle;
     writeReg(C, I.Rd, V, Done);
     if ((PubMask & eventMaskOf(EventKind::LoadOutcome)) && !I.Synthetic)
@@ -213,14 +214,16 @@ Cycle SmtCore::executeInstruction(unsigned CtxIdx, Context &C,
     Data.write64(EA, readReg(C, I.Rs2));
     // Stores retire through the store buffer; the pipeline does not wait
     // for the fill, but the fill still consumes MSHRs/bus bandwidth.
-    AccessResult R = Mem.access(PC, EA, AccessKind::DemandStore, EffNow);
+    AccessResult R = Mem.access(PC + Config.MemBias, EA + Config.MemBias,
+                                AccessKind::DemandStore, EffNow);
     (void)R;
     Done = EffNow + 1;
     break;
   }
   case Opcode::Prefetch: {
     Addr EA = readReg(C, I.Rs1) + static_cast<uint64_t>(I.Imm);
-    Mem.access(PC, EA, AccessKind::SoftwarePrefetch, EffNow);
+    Mem.access(PC + Config.MemBias, EA + Config.MemBias,
+               AccessKind::SoftwarePrefetch, EffNow);
     Done = EffNow + 1;
     break;
   }

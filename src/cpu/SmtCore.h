@@ -53,6 +53,15 @@ struct CoreConfig {
   /// channel entirely, keeping event streams and stat exports
   /// bit-identical to builds that predate it.
   uint64_t HwPfFeedbackIntervalCommits = 0;
+  /// Address bias applied to every PC and data address this core presents
+  /// to the *shared* memory system (cache tags, MSHRs, prefetcher
+  /// training) — never to DataMemory, whose contents stay unbiased. The
+  /// mix scheduler gives each co-scheduled lane a disjoint bias so two
+  /// programs built on the same nominal memory map contend for cache
+  /// capacity and bandwidth without aliasing each other's lines. 0 (the
+  /// default, and always lane 0) adds nothing, so solo runs are
+  /// bit-identical to builds that predate the field.
+  Addr MemBias = 0;
 
   static CoreConfig baseline() { return CoreConfig(); }
 };

@@ -87,6 +87,7 @@ void addCoreConfig(Fnv1a &F, const CoreConfig &C) {
   F.add(C.MispredictPenalty);
   F.add(C.NumContexts);
   F.add(C.HwPfFeedbackIntervalCommits);
+  F.add(C.MemBias);
 }
 
 void addDltConfig(Fnv1a &F, const DltConfig &C) {
@@ -166,6 +167,13 @@ uint64_t trident::configFingerprint(const SimConfig &C) {
   F.add(C.SimInstructions);
   addFaultPlan(F, C.Faults);
   addSelectorConfig(F, C.Selector);
+  // Mix co-runners change the whole memory picture; the lane list (names
+  // AND order — lane index picks the address bias) and the scheduling
+  // quantum are both part of the experiment's identity.
+  F.add(C.MixWith.size());
+  for (const std::string &Lane : C.MixWith)
+    F.add(Lane);
+  F.add(C.MixQuantumCycles);
   return F.hash();
 }
 

@@ -1,0 +1,233 @@
+//===- MixSimulation.cpp --------------------------------------------------===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MixSimulation.h"
+
+#include "branch/BranchPredictor.h"
+#include "control/PhaseMonitor.h"
+#include "sim/ResultAssembly.h"
+#include "support/Check.h"
+#include "trident/CodeCache.h"
+
+#include <memory>
+
+using namespace trident;
+
+namespace {
+
+/// Co-runner commit target per quantum: effectively unbounded (the cycle
+/// boundary always stops the lane first) but small enough that
+/// SmtCore::run's goal arithmetic (committed + target) cannot wrap.
+constexpr uint64_t kUnboundedCommits = uint64_t(1) << 62;
+
+/// One co-runner: a raw core (no Trident runtime, no event bus, no
+/// control plane) executing its workload against the shared memory
+/// system. Member order is load-bearing: Prog/Data/CC must be alive
+/// before Image, Image before Core.
+struct CoLane {
+  Workload W;
+  Program Prog;
+  DataMemory Data;
+  CodeCache CC;
+  CodeImage Image;
+  MetaPredictor Predictor;
+  SmtCore Core;
+  /// Lane-local cycle at the start of the measurement window (co-runner
+  /// clocks are not cleared by clearStats).
+  Cycle MeasureStart = 0;
+
+  CoLane(Workload Src, const CoreConfig &Cfg, MemorySystem &Mem)
+      : W(std::move(Src)), Prog(W.Prog), Image(Prog, CC),
+        Core(Cfg, Image, Data, Mem) {
+    W.Init(Data);
+    Core.setBranchPredictor(&Predictor);
+    Core.startContext(0, Prog.entryPC());
+  }
+
+  uint64_t instructions() const { return Core.stats(0).CommittedOriginal; }
+  Cycle cycles() const { return Core.now() - MeasureStart; }
+};
+
+} // namespace
+
+SimResult trident::runMixSimulation(const Workload &W, const SimConfig &Config,
+                                    EventTracer *Tracer) {
+  TRIDENT_CHECK(!Config.MixWith.empty() && Config.MixWith.size() <= 3,
+                "mix supports 1..3 co-runners, got %zu",
+                Config.MixWith.size());
+  TRIDENT_CHECK(Config.MixQuantumCycles > 0, "mix quantum must be positive");
+
+  // Lane 0: the primary, wired exactly like the solo path in
+  // runSimulation (Trident runtime, control plane, fault injector,
+  // tracer) — a mix result must read like a solo result under contention.
+  Program Prog = W.Prog; // private copy: Trident patches it
+  DataMemory Data;
+  W.Init(Data);
+
+  MemorySystem Mem(Config.Mem);
+  PrefetcherEnv Env;
+  Env.PageBounded = Config.Mem.Tlb.Enable;
+  Env.PageBits = Config.Mem.Tlb.PageBits;
+  {
+    std::string PfError;
+    std::unique_ptr<HwPrefetcher> Unit =
+        PrefetcherRegistry::instance().create(Config.HwPf, Env, &PfError);
+    TRIDENT_CHECK(Unit || PrefetcherRegistry::isNone(Config.HwPf),
+                  "bad --hwpf spec '%s': %s", Config.HwPf.c_str(),
+                  PfError.c_str());
+    if (Unit)
+      Mem.attachPrefetcher(std::move(Unit));
+  }
+
+  CoreConfig CoreCfg = Config.Core;
+  if (Config.Selector.enabled() && CoreCfg.HwPfFeedbackIntervalCommits == 0)
+    CoreCfg.HwPfFeedbackIntervalCommits = Config.Selector.IntervalCommits;
+  TRIDENT_CHECK(CoreCfg.MemBias == 0,
+                "lane 0 owns bias 0; configure co-runners via MixWith");
+
+  CodeCache CC;
+  CodeImage Image(Prog, CC);
+  SmtCore Core(CoreCfg, Image, Data, Mem);
+  MetaPredictor Predictor;
+  Core.setBranchPredictor(&Predictor);
+
+  EventBus Bus;
+  Core.setEventBus(&Bus);
+
+  std::unique_ptr<TridentRuntime> Runtime;
+  if (Config.EnableTrident) {
+    RuntimeConfig RC = Config.Runtime;
+    RC.MemoryLatency = Config.Mem.MemoryLatency;
+    RC.L1HitLatency = Config.Mem.L1.HitLatency;
+    Runtime = std::make_unique<TridentRuntime>(RC, Prog, Core, CC);
+    Runtime->attach(Bus);
+  }
+  std::unique_ptr<PhaseMonitor> Monitor;
+  if (Config.Selector.enabled()) {
+    Monitor = std::make_unique<PhaseMonitor>(Config.Selector, Mem, Env,
+                                             Config.HwPf);
+    Monitor->attach(Bus);
+  }
+  std::unique_ptr<FaultInjector> Injector;
+  if (!Config.Faults.empty()) {
+    FaultTargets Targets;
+    Targets.Mem = &Mem;
+    Targets.Runtime = Runtime.get();
+    Injector = std::make_unique<FaultInjector>(Config.Faults, Targets);
+    Injector->attach(Bus);
+  }
+  if (Tracer)
+    Bus.subscribeDeferred(Tracer, Tracer->mask());
+
+  Core.startContext(0, Prog.entryPC());
+
+  // Lanes 1..N: co-runners on private cores over the SAME memory system.
+  // Each lane's bias keeps its cache/MSHR/prefetcher footprint disjoint
+  // from every other lane's in tag space while contending for the same
+  // capacity and bandwidth. Bit 44 leaves the full 16 TiB workload
+  // address range below untouched.
+  std::vector<std::unique_ptr<CoLane>> CoLanes;
+  for (size_t I = 0; I < Config.MixWith.size(); ++I) {
+    CoreConfig LaneCfg = Config.Core;
+    LaneCfg.MemBias = static_cast<Addr>(I + 1) << 44;
+    // Co-runners have no event bus, so the feedback channel would only
+    // burn a countdown; keep it off regardless of the primary's setting.
+    LaneCfg.HwPfFeedbackIntervalCommits = 0;
+    CoLanes.push_back(std::make_unique<CoLane>(
+        makeWorkload(Config.MixWith[I]), LaneCfg, Mem));
+  }
+
+  // Quantum round-robin: the boundary advances by MixQuantumCycles per
+  // round; lane 0 runs first toward its commit goal (capped at the
+  // boundary), then each live co-runner catches up to the boundary. A
+  // co-runner is never ahead of the boundary and lane 0 never lags a
+  // finished round, so lane clocks stay within one quantum of each other.
+  Cycle Boundary = 0;
+  auto advanceCoLanes = [&](Cycle Limit) {
+    for (std::unique_ptr<CoLane> &L : CoLanes)
+      if (!L->Core.halted(0) && L->Core.now() < Limit)
+        L->Core.run(kUnboundedCommits, Limit);
+  };
+  auto runLane0Until = [&](uint64_t CommitGoal) {
+    SmtCore::StopReason R = SmtCore::StopReason::CommitTarget;
+    while (true) {
+      Boundary += Config.MixQuantumCycles;
+      uint64_t Done = Core.stats(0).CommittedOriginal;
+      if (Done < CommitGoal)
+        R = Core.run(CommitGoal - Done, Boundary);
+      advanceCoLanes(Boundary);
+      if (Core.stats(0).CommittedOriginal >= CommitGoal ||
+          R != SmtCore::StopReason::CycleLimit)
+        return R;
+    }
+  };
+
+  // Warmup (monitoring/optimization disabled, Section 4.2) under full
+  // contention: co-runners warm the shared caches' working pressure too.
+  if (Config.WarmupInstructions > 0) {
+    SmtCore::StopReason R = runLane0Until(Config.WarmupInstructions);
+    TRIDENT_CHECK(R != SmtCore::StopReason::CycleLimit,
+                  "mix warmup of %llu instructions stalled",
+                  (unsigned long long)Config.WarmupInstructions);
+    (void)R;
+  }
+  if (Runtime)
+    Runtime->setEnabled(true);
+
+  // Measurement window.
+  Core.clearStats();
+  Mem.clearStats();
+  Bus.clearCounts();
+  if (Runtime)
+    Runtime->clearStats();
+  if (Monitor)
+    Monitor->onMeasurementStart();
+  for (std::unique_ptr<CoLane> &L : CoLanes) {
+    L->Core.clearStats();
+    L->MeasureStart = L->Core.now();
+  }
+  Cycle Start = Core.now();
+  SmtCore::StopReason Stop = runLane0Until(Config.SimInstructions);
+  Cycle End = Core.now();
+  Bus.flush();
+  TRIDENT_CHECK(End >= Start,
+                "measurement window ran backwards: start %llu, end %llu",
+                (unsigned long long)Start, (unsigned long long)End);
+
+  MachineSnapshot M;
+  M.W = &W;
+  M.Config = &Config;
+  M.CoreCfg = &CoreCfg;
+  M.Core = &Core;
+  M.Mem = &Mem;
+  M.Bus = &Bus;
+  M.Runtime = Runtime.get();
+  M.Injector = Injector.get();
+  M.Monitor = Monitor.get();
+  M.Start = Start;
+  M.End = End;
+  M.Stop = Stop;
+  SimResult Res = assembleSimResult(M, [&](StatRegistry &Reg) {
+    // mix.* lines appear only on mix runs (only-when-on): solo exports —
+    // and the legacy golden corpus — never see them.
+    Reg.setCounter("mix.lanes", 1 + CoLanes.size());
+    Reg.setCounter("mix.quantum_cycles", Config.MixQuantumCycles);
+    for (size_t I = 0; I < CoLanes.size(); ++I) {
+      const std::string P = "mix.lane" + std::to_string(I + 1) + ".";
+      Reg.setCounter(P + "instructions", CoLanes[I]->instructions());
+      Reg.setCounter(P + "cycles", CoLanes[I]->cycles());
+      Reg.setCounter(P + "halted", CoLanes[I]->Core.halted(0) ? 1 : 0);
+    }
+  });
+  for (std::unique_ptr<CoLane> &L : CoLanes) {
+    SimResult::MixLane Lane;
+    Lane.Workload = L->W.Name;
+    Lane.Instructions = L->instructions();
+    Lane.Cycles = L->cycles();
+    Res.MixLanes.push_back(std::move(Lane));
+  }
+  return Res;
+}

@@ -1,0 +1,44 @@
+//===- MixSimulation.h - Multi-programmed workload mixes -------*- C++ -*-===//
+//
+// Part of the Trident-SRP reproduction (CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Co-schedules the primary workload with 1..3 co-runner workloads over
+/// ONE shared memory system — cache capacity, MSHRs, bus bandwidth, and
+/// the hardware prefetcher are contended — so the scenario space covers
+/// interference the solo sweeps cannot produce (DESIGN.md §16).
+///
+/// Lane model: lane 0 is the primary with the full solo wiring (Trident
+/// runtime, selector control plane, fault injector, tracer). Lanes 1..N
+/// are raw cores running their workload with no runtime and no event bus;
+/// they exist to generate contention, not measurements. Each lane gets a
+/// disjoint CoreConfig::MemBias so same-numbered addresses in different
+/// programs never alias in the shared caches.
+///
+/// Scheduling: quantum round-robin on a global cycle boundary. Each round
+/// the boundary advances by SimConfig::MixQuantumCycles; lane 0 runs first
+/// (toward its warmup/measurement commit goal, capped at the boundary),
+/// then each co-runner catches up to the boundary. Everything is
+/// deterministic: same seed and config ⇒ bit-identical SimResult,
+/// decision trace, and registry export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRIDENT_SIM_MIXSIMULATION_H
+#define TRIDENT_SIM_MIXSIMULATION_H
+
+#include "sim/Simulation.h"
+
+namespace trident {
+
+/// Runs \p W as lane 0 of a multi-programmed mix described by
+/// Config.MixWith (1..3 co-runner workload names; fuzz specs allowed).
+/// Called by runSimulation when MixWith is non-empty — call that instead.
+SimResult runMixSimulation(const Workload &W, const SimConfig &Config,
+                           EventTracer *Tracer = nullptr);
+
+} // namespace trident
+
+#endif // TRIDENT_SIM_MIXSIMULATION_H

@@ -8,6 +8,8 @@
 
 #include "branch/BranchPredictor.h"
 #include "control/PhaseMonitor.h"
+#include "sim/MixSimulation.h"
+#include "sim/ResultAssembly.h"
 #include "support/Check.h"
 #include "trident/CodeCache.h"
 
@@ -33,6 +35,12 @@ SimConfig SimConfig::withMode(PrefetchMode Mode) {
 
 SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
                                  EventTracer *Tracer) {
+  // Multi-programmed mixes build a different machine shape (N cores over
+  // one memory system); everything below is the solo path, untouched by
+  // the mix feature so solo runs stay bit-identical.
+  if (!Config.MixWith.empty())
+    return runMixSimulation(W, Config, Tracer);
+
   // Build the machine.
   Program Prog = W.Prog; // private copy: Trident patches it
   DataMemory Data;
@@ -151,109 +159,18 @@ SimResult trident::runSimulation(const Workload &W, const SimConfig &Config,
                 "measurement window ran backwards: start %llu, end %llu",
                 (unsigned long long)Start, (unsigned long long)End);
 
-  SimResult Res;
-  Res.Workload = W.Name;
-  Res.ConfigName = Config.EnableTrident
-                       ? std::string("trident-") +
-                             prefetchModeName(Config.Runtime.Mode)
-                       : hwPfConfigName(Config.HwPf);
-  if (Config.Selector.enabled())
-    Res.ConfigName += "+" + Config.Selector.shortName();
-  Res.Instructions = Core.stats(0).CommittedOriginal;
-  TRIDENT_CHECK(Stop != SmtCore::StopReason::CommitTarget ||
-                    Res.Instructions >= Config.SimInstructions,
-                "run stopped at the commit target with only %llu of %llu "
-                "instructions committed",
-                (unsigned long long)Res.Instructions,
-                (unsigned long long)Config.SimInstructions);
-  Res.Cycles = End - Start;
-  Res.Ipc = Res.Cycles == 0
-                ? 0.0
-                : static_cast<double>(Res.Instructions) /
-                      static_cast<double>(Res.Cycles);
-  Res.Mem = Mem.stats();
-  if (Runtime) {
-    Res.Runtime = Runtime->stats();
-    Res.Dlt = Runtime->dlt().stats();
-  }
-  if (const HwPrefetcher *Pf = Mem.prefetcher())
-    Res.HwPf = Pf->snapshotStats();
-  Res.PfFeedback = Mem.feedback();
-  if (const Tlb *T = Mem.dtlb())
-    Res.Tlb = T->stats();
-  Res.HelperBusyCycles = Core.helperBusyCycles();
-  Res.BranchMispredicts = Core.stats(0).BranchMispredicts;
-  if (Injector)
-    Res.Faults = Injector->stats();
-  if (Monitor) {
-    Res.Selector = Monitor->stats();
-    Res.SelectorTrace = Monitor->trace();
-    Res.SelectorFinalUnit = Monitor->currentUnitName();
-  }
-  Res.Halted = Stop == SmtCore::StopReason::Halted;
-  uint64_t H = 1469598103934665603ull;
-  for (unsigned R = 0; R < reg::NumRegs; ++R) {
-    // Exclude optimizer scratch registers: they are runtime-owned.
-    if (R >= reg::FirstScratch)
-      continue;
-    H = (H ^ Core.getReg(0, R)) * 1099511628211ull;
-  }
-  Res.RegChecksum = H;
-  Res.EventsPublished = Bus.publishedCounts();
-
-  // Snapshot the whole machine into the named-statistics registry.
-  auto Reg = std::make_shared<StatRegistry>();
-  Reg->setCounter("core.instructions", Res.Instructions);
-  Reg->setCounter("core.cycles", Res.Cycles);
-  Reg->setReal("core.ipc", Res.Ipc);
-  Reg->setCounter("core.helper_busy_cycles", Res.HelperBusyCycles);
-  Reg->setCounter("core.halted", Res.Halted ? 1 : 0);
-  for (unsigned I = 0; I < Config.Core.NumContexts; ++I)
-    Core.stats(I).registerInto(*Reg,
-                               "cpu.ctx" + std::to_string(I) + ".");
-  Res.Mem.registerInto(*Reg, "mem.");
-  Res.Tlb.registerInto(*Reg, "tlb.");
-  Res.HwPf.registerInto(*Reg, "hwpf.");
-  // The feedback block is opt-in (the sampling knob): the default export
-  // set — and therefore the golden corpus — is untouched unless a config
-  // explicitly turns the channel on.
-  if (CoreCfg.HwPfFeedbackIntervalCommits > 0 && Mem.prefetcher()) {
-    Reg->setCounter("hwpf.feedback.issued", Res.PfFeedback.Issued);
-    Reg->setCounter("hwpf.feedback.useful", Res.PfFeedback.Useful);
-    Reg->setCounter("hwpf.feedback.late", Res.PfFeedback.Late);
-    Reg->setCounter("hwpf.feedback.demand_misses",
-                    Res.PfFeedback.DemandMisses);
-    Reg->setReal("hwpf.feedback.accuracy", Res.PfFeedback.accuracy());
-    Reg->setReal("hwpf.feedback.coverage", Res.PfFeedback.coverage());
-  }
-  for (unsigned K = 0; K < kNumEventKinds; ++K) {
-    // Kinds newer than the original eight export conditionally, so runs
-    // that never publish them stay byte-identical to the golden corpus.
-    if (K >= kNumCoreEventKinds && Res.EventsPublished[K] == 0)
-      continue;
-    Reg->setCounter(std::string("events.published.") +
-                        eventKindName(static_cast<EventKind>(K)),
-                    Res.EventsPublished[K]);
-  }
-  if (Runtime) {
-    Res.Runtime.registerInto(*Reg, "trident.");
-    Res.Dlt.registerInto(*Reg, "dlt.");
-    const EventQueue &Q = Runtime->eventQueue();
-    Reg->setCounter("trident.event_queue.capacity", Q.capacity());
-    Reg->setCounter("trident.event_queue.dropped", Q.dropped());
-    Reg->setCounter("trident.event_queue.peak_occupancy", Q.peakOccupancy());
-    Reg->setHistogram("trident.event_queue.occupancy", Q.occupancyHistogram());
-  }
-  // "faults." lines appear only when something actually fired: a plan
-  // that never triggers exports byte-identically to a fault-free run
-  // (the disabled-injector identity contract).
-  if (Injector && Res.Faults.Injected > 0)
-    Res.Faults.registerInto(*Reg, "faults.");
-  // "selector." lines appear only when the control plane was built, the
-  // same only-when-on pattern: static runs export byte-identically to a
-  // pre-control-plane build.
-  if (Monitor)
-    Res.Selector.registerInto(*Reg, "selector.");
-  Res.Registry = std::move(Reg);
-  return Res;
+  MachineSnapshot M;
+  M.W = &W;
+  M.Config = &Config;
+  M.CoreCfg = &CoreCfg;
+  M.Core = &Core;
+  M.Mem = &Mem;
+  M.Bus = &Bus;
+  M.Runtime = Runtime.get();
+  M.Injector = Injector.get();
+  M.Monitor = Monitor.get();
+  M.Start = Start;
+  M.End = End;
+  M.Stop = Stop;
+  return assembleSimResult(M);
 }

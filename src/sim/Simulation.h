@@ -62,6 +62,20 @@ struct SimConfig {
   /// runs the core at Selector.IntervalCommits (the selector's heartbeat)
   /// without mutating this config.
   SelectorConfig Selector;
+  /// Multi-programmed mix: names of 1..3 co-runner workloads (resolved
+  /// through makeWorkload, so fuzz specs work) co-scheduled with the
+  /// primary on private cores that share this config's memory system —
+  /// cache capacity, MSHRs, bus bandwidth, and the hardware prefetcher.
+  /// Empty (the default) runs the solo path, bit-identical to builds that
+  /// predate mixes. See sim/MixSimulation.h and DESIGN.md §16.
+  std::vector<std::string> MixWith;
+  /// Mix co-scheduling quantum: each lane advances until its local clock
+  /// reaches the shared boundary, which then moves forward by this many
+  /// cycles. Lanes later in a round queue behind bus/MSHR reservations
+  /// the earlier lanes already made up to the boundary, so large quanta
+  /// skew bandwidth toward the primary; 1000 cycles interleaves fairly at
+  /// modest host cost. Part of the config fingerprint.
+  Cycle MixQuantumCycles = 1'000;
 
   /// The paper's baseline: 8x8 stream buffers, no software prefetching.
   static SimConfig hwBaseline();
@@ -100,6 +114,15 @@ struct SimResult {
   /// Arsenal unit attached when the run ended ("" without a selector or
   /// when the run ended unit-less).
   std::string SelectorFinalUnit;
+  /// Per-co-runner progress over the measurement window (empty for solo
+  /// runs). The primary lane's numbers are the top-level fields above —
+  /// a mix result reads exactly like a solo result plus this appendix.
+  struct MixLane {
+    std::string Workload;
+    uint64_t Instructions = 0;
+    Cycle Cycles = 0;
+  };
+  std::vector<MixLane> MixLanes;
   /// FNV-style hash of the main context's final register file — used by
   /// tests to check that dynamic optimization never changes semantics.
   uint64_t RegChecksum = 0;

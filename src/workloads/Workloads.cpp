@@ -9,10 +9,24 @@
 #include "isa/ProgramBuilder.h"
 #include "support/Random.h"
 #include "support/Check.h"
+#include "workloads/fuzz/FuzzGenerator.h"
 
 #include <algorithm>
 
 using namespace trident;
+
+uint64_t trident::programHash(const Program &P) {
+  uint64_t H = 1469598103934665603ull;
+  auto fold = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      H = (H ^ ((V >> (8 * I)) & 0xFF)) * 1099511628211ull;
+  };
+  fold(P.entryPC());
+  for (Addr PC = P.basePC(); PC < P.endPC(); ++PC)
+    for (uint64_t Word : P.at(PC).encode())
+      fold(Word);
+  return H;
+}
 
 //===----------------------------------------------------------------------===//
 // Data-image generators
@@ -564,50 +578,67 @@ Workload makeWupwise() {
 // Registry
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// The one registration table: every named workload appears here exactly
+/// once, and workloadNames() / makeWorkload() / makeAllWorkloads() are all
+/// projections of it — name bookkeeping cannot drift between them.
+struct RegisteredWorkload {
+  const char *Name;
+  Workload (*Make)();
+};
+
+constexpr RegisteredWorkload kRegistry[] = {
+    {"applu", makeApplu},   {"art", makeArt},         {"dot", makeDot},
+    {"equake", makeEquake}, {"facerec", makeFacerec}, {"fma3d", makeFma3d},
+    {"galgel", makeGalgel}, {"gap", makeGap},         {"mcf", makeMcf},
+    {"mgrid", makeMgrid},   {"parser", makeParser},   {"swim", makeSwim},
+    {"vis", makeVis},       {"wupwise", makeWupwise},
+};
+
+/// The shared tail of every registration path (named, spec-based, fuzzed):
+/// stamps the program-identity hash so any caller of makeWorkload or the
+/// make*Workload builders can key goldens and memo entries off it.
+Workload finalizeWorkload(Workload W) {
+  W.ProgramHash = programHash(W.Prog);
+  return W;
+}
+
+} // namespace
+
 const std::vector<std::string> &trident::workloadNames() {
-  static const std::vector<std::string> Names = {
-      "applu", "art",   "dot",    "equake", "facerec", "fma3d", "galgel",
-      "gap",   "mcf",   "mgrid",  "parser", "swim",    "vis",   "wupwise"};
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N;
+    for (const RegisteredWorkload &R : kRegistry)
+      N.push_back(R.Name);
+    return N;
+  }();
   return Names;
 }
 
 Workload trident::makeWorkload(const std::string &Name) {
-  if (Name == "applu")
-    return makeApplu();
-  if (Name == "art")
-    return makeArt();
-  if (Name == "dot")
-    return makeDot();
-  if (Name == "equake")
-    return makeEquake();
-  if (Name == "facerec")
-    return makeFacerec();
-  if (Name == "fma3d")
-    return makeFma3d();
-  if (Name == "galgel")
-    return makeGalgel();
-  if (Name == "gap")
-    return makeGap();
-  if (Name == "mcf")
-    return makeMcf();
-  if (Name == "mgrid")
-    return makeMgrid();
-  if (Name == "parser")
-    return makeParser();
-  if (Name == "swim")
-    return makeSwim();
-  if (Name == "vis")
-    return makeVis();
-  if (Name == "wupwise")
-    return makeWupwise();
+  // Fuzz scenarios resolve through the same entry point as the named 14,
+  // so the memo cache, benches, and the mix scheduler need no special
+  // casing — a fuzz name is just a workload whose program is derived from
+  // its seed (the fuzzer stamps ProgramHash itself).
+  if (isFuzzSpec(Name))
+    return makeFuzzWorkloadFromSpec(Name);
+  for (const RegisteredWorkload &R : kRegistry)
+    if (Name == R.Name) {
+      Workload W = finalizeWorkload(R.Make());
+      TRIDENT_CHECK(W.Name == Name,
+                    "registry name '%s' disagrees with workload name '%s'",
+                    Name.c_str(), W.Name.c_str());
+      return W;
+    }
   TRIDENT_UNREACHABLE("unknown workload name");
-  return makeSwim();
+  return finalizeWorkload(makeSwim());
 }
 
 std::vector<Workload> trident::makeAllWorkloads() {
   std::vector<Workload> Out;
-  for (const std::string &N : workloadNames())
-    Out.push_back(makeWorkload(N));
+  for (const RegisteredWorkload &R : kRegistry)
+    Out.push_back(makeWorkload(R.Name));
   return Out;
 }
 
@@ -640,10 +671,11 @@ Workload trident::makeStrideLoopWorkload(const StrideLoopSpec &Spec,
   B.addi(26, 26, 1);
   B.blt(26, 27, "loop");
   B.halt();
-  return {Name,
-          std::to_string(Spec.NumStreams) + " streams, stride " +
-              std::to_string(Spec.Stride),
-          B.finish(), [](DataMemory &) {}};
+  return finalizeWorkload({Name,
+                           std::to_string(Spec.NumStreams) +
+                               " streams, stride " +
+                               std::to_string(Spec.Stride),
+                           B.finish(), [](DataMemory &) {}});
 }
 
 Workload trident::makePointerChaseWorkload(const PointerChaseSpec &Spec,
@@ -665,10 +697,11 @@ Workload trident::makePointerChaseWorkload(const PointerChaseSpec &Spec,
   B.halt();
 
   PointerChaseSpec S = Spec; // captured by the init lambda
-  return {Name,
-          "chase over " + std::to_string(Spec.NumNodes) + " nodes of " +
-              std::to_string(Spec.NodeSize) + "B",
-          B.finish(), [S](DataMemory &M) {
+  return finalizeWorkload(
+      {Name,
+       "chase over " + std::to_string(Spec.NumNodes) + " nodes of " +
+           std::to_string(Spec.NodeSize) + "B",
+       B.finish(), [S](DataMemory &M) {
             switch (S.NodeLayout) {
             case PointerChaseSpec::Layout::Sequential:
               buildLinkedList(M, S.Base, S.NumNodes, S.NodeSize, 0,
@@ -683,7 +716,7 @@ Workload trident::makePointerChaseWorkload(const PointerChaseSpec &Spec,
                               /*Shuffled=*/true, S.Seed);
               break;
             }
-          }};
+       }});
 }
 
 Workload trident::makeGatherWorkload(const GatherSpec &Spec,
@@ -707,10 +740,11 @@ Workload trident::makeGatherWorkload(const GatherSpec &Spec,
   B.halt();
 
   GatherSpec S = Spec;
-  return {Name, "indexed gather over " + std::to_string(Spec.Entries) +
-                    " pointers",
-          B.finish(), [S](DataMemory &M) {
-            buildPointerArray(M, S.ArrayBase, S.Entries, S.TargetBase,
-                              S.TargetStride);
-          }};
+  return finalizeWorkload(
+      {Name,
+       "indexed gather over " + std::to_string(Spec.Entries) + " pointers",
+       B.finish(), [S](DataMemory &M) {
+         buildPointerArray(M, S.ArrayBase, S.Entries, S.TargetBase,
+                           S.TargetStride);
+       }});
 }

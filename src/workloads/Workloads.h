@@ -33,15 +33,30 @@ struct Workload {
   Program Prog;
   /// Initializes data memory (linked lists, pointer arrays, ...).
   std::function<void(DataMemory &)> Init;
+  /// FNV-1a over the program's entry PC and every instruction's packed
+  /// encoding — a stable identity for generated programs. Filled by every
+  /// registration path (named, spec-based, and fuzzed builders all share
+  /// finalizeWorkload), but only exported into the stat registry for fuzz
+  /// scenarios, so the solo golden corpus is byte-identical to older
+  /// builds.
+  uint64_t ProgramHash = 0;
 };
+
+/// FNV-1a hash of a program image (entry PC + packed instruction words).
+uint64_t programHash(const Program &P);
 
 /// Names of all 14 benchmarks, in the paper's order.
 const std::vector<std::string> &workloadNames();
 
-/// Builds the named workload. Asserts on unknown names.
+/// Builds the named workload: one of the 14 benchmarks, or a fuzz spec
+/// ("fuzz@SEED[:knob=v,...]" — see workloads/fuzz/FuzzGenerator.h). All
+/// drivers, benches, and the mix scheduler resolve workloads through this
+/// single entry point, so fuzz scenarios inherit stats, memoization, and
+/// fingerprint coverage for free. Asserts on unknown names.
 Workload makeWorkload(const std::string &Name);
 
-/// Builds every workload.
+/// Builds every named workload (the fixed 14; fuzz scenarios are an
+/// unbounded family and are built by spec).
 std::vector<Workload> makeAllWorkloads();
 
 // Reusable generators, exposed for tests and custom examples. -----------

@@ -17,6 +17,7 @@
 #include "sim/Simulation.h"
 #include "support/Random.h"
 #include "trident/WatchTable.h"
+#include "workloads/fuzz/FuzzGenerator.h"
 
 #include <gtest/gtest.h>
 
@@ -441,3 +442,71 @@ TEST_P(TableEviction, CacheInvalidateRangeEvictsExactlyTheRange) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TableEviction,
                          ::testing::Values(21, 22, 23, 24, 25));
+
+//===----------------------------------------------------------------------===//
+// Property 7: the same invariants hold for programs drawn from the
+// workload fuzzer — access patterns and register pressure no hand-written
+// generator above produces.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A finite variant of a fuzzed scenario: fuzz programs loop forever by
+/// construction (their outer back-edge re-enters the phase schedule), so
+/// for run-to-Halt differential tests the back-edge is replaced by the
+/// Halt that already follows it. One full pass over every segment still
+/// executes.
+Workload finiteFuzzWorkload(uint64_t Seed, const FuzzKnobs &K) {
+  Workload W = makeFuzzWorkload(Seed, K);
+  Addr BackEdge = W.Prog.endPC() - 2;
+  EXPECT_EQ(W.Prog.at(BackEdge).Op, Opcode::Jump)
+      << "fuzz program shape changed; expected the outer back-edge here";
+  Instruction Halt;
+  Halt.Op = Opcode::Halt;
+  W.Prog.at(BackEdge) = Halt;
+  return W;
+}
+
+} // namespace
+
+class FuzzedPrograms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzedPrograms, EncodingsSurviveExactly) {
+  Workload W = makeFuzzWorkload(GetParam());
+  for (Addr PC = W.Prog.basePC(); PC < W.Prog.endPC(); ++PC) {
+    const Instruction &In = W.Prog.at(PC);
+    ASSERT_EQ(Instruction::decode(In.encode()), In)
+        << "at PC 0x" << std::hex << PC;
+  }
+}
+
+TEST_P(FuzzedPrograms, OptimizationPreservesSemanticsToHalt) {
+  // Small working set and short phases keep one full pass cheap; the
+  // segments still cover the whole generator kind space across seeds.
+  FuzzKnobs K;
+  K.WsetKB = 256;
+  K.PhaseIters = 512;
+  Workload W = finiteFuzzWorkload(GetParam(), K);
+
+  SimConfig Ref = SimConfig::hwBaseline();
+  Ref.WarmupInstructions = 0;
+  Ref.SimInstructions = 100'000'000;
+  SimResult RRef = runSimulation(W, Ref);
+  ASSERT_TRUE(RRef.Halted) << "finite fuzz variant did not halt";
+
+  for (PrefetchMode M :
+       {PrefetchMode::Basic, PrefetchMode::SelfRepairing}) {
+    SimConfig C = SimConfig::withMode(M);
+    C.WarmupInstructions = 0;
+    C.SimInstructions = 100'000'000;
+    SimResult R = runSimulation(W, C);
+    EXPECT_TRUE(R.Halted) << prefetchModeName(M);
+    EXPECT_EQ(R.Instructions, RRef.Instructions)
+        << "seed " << GetParam() << " mode " << prefetchModeName(M);
+    EXPECT_EQ(R.RegChecksum, RRef.RegChecksum)
+        << "seed " << GetParam() << " mode " << prefetchModeName(M);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedPrograms,
+                         ::testing::Range<uint64_t>(31, 39));

@@ -19,6 +19,7 @@
 #include "sim/Simulation.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
+#include "workloads/fuzz/FuzzGenerator.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace trident;
 
@@ -36,7 +38,21 @@ void usage(const char *Prog) {
   std::printf(
       "usage: %s [options]\n"
       "  --list                 list the 14 workloads and exit\n"
-      "  --workload NAME        workload to run (required unless --list)\n"
+      "  --workload NAME        workload to run (required unless --list,\n"
+      "                         --fuzz, or --mix); fuzz@SEED[:knobs] specs\n"
+      "                         are accepted anywhere a name is\n"
+      "  --fuzz SPEC            run a generated workload: SEED[:knob=v,...]\n"
+      "                         with knobs wset (KB), segs, entropy (0-1000\n"
+      "                         permille), branch (permille), phase (iters),\n"
+      "                         streams; same seed+knobs => bit-identical\n"
+      "                         program and result\n"
+      "  --mix W1+W2[+W3[+W4]]  multi-programmed mix: W1 is the measured\n"
+      "                         primary (full Trident wiring), the rest are\n"
+      "                         raw co-runners contending for the shared\n"
+      "                         memory system; names or fuzz specs\n"
+      "  --mix-quantum N        mix co-scheduling quantum in cycles\n"
+      "                         (default 1000; larger skews bandwidth\n"
+      "                         toward the primary lane)\n"
       "  --mode MODE            hw | none | basic | whole-object |\n"
       "                         self-repairing   (default self-repairing;\n"
       "                         'hw' disables Trident entirely)\n"
@@ -98,6 +114,14 @@ void printStats(const SimResult &R, bool Verbose) {
                 (unsigned long long)R.Selector.Explorations,
                 R.SelectorFinalUnit.empty() ? "none"
                                             : R.SelectorFinalUnit.c_str());
+  for (size_t I = 0; I < R.MixLanes.size(); ++I) {
+    const SimResult::MixLane &L = R.MixLanes[I];
+    double LaneIpc =
+        L.Cycles ? double(L.Instructions) / double(L.Cycles) : 0.0;
+    std::printf("mix lane %zu       %s: %llu instrs, IPC %.4f\n", I + 1,
+                L.Workload.c_str(), (unsigned long long)L.Instructions,
+                LaneIpc);
+  }
   if (!Verbose)
     return;
 
@@ -197,6 +221,8 @@ void printStats(const SimResult &R, bool Verbose) {
 
 int main(int argc, char **argv) {
   std::string WorkloadName;
+  std::string FuzzSpec, MixSpec;
+  uint64_t MixQuantum = 1'000;
   std::string Mode = "self-repairing";
   std::string HwPf = "sb8x8";
   std::string Selector;
@@ -224,6 +250,12 @@ int main(int argc, char **argv) {
       List = true;
     else if (!std::strcmp(A, "--workload"))
       WorkloadName = needValue(I);
+    else if (!std::strcmp(A, "--fuzz"))
+      FuzzSpec = needValue(I);
+    else if (!std::strcmp(A, "--mix"))
+      MixSpec = needValue(I);
+    else if (!std::strcmp(A, "--mix-quantum"))
+      MixQuantum = std::strtoull(needValue(I), nullptr, 10);
     else if (!std::strcmp(A, "--mode"))
       Mode = needValue(I);
     else if (!std::strcmp(A, "--hwpf"))
@@ -292,19 +324,76 @@ int main(int argc, char **argv) {
     std::printf("%s", T.render().c_str());
     return 0;
   }
+  // A workload reference is one of the named workloads or a fuzz spec;
+  // validate every reference up front so a typo fails with a crisp
+  // message instead of mid-run inside the machine wiring.
+  auto validRef = [](const std::string &Ref) -> bool {
+    if (isFuzzSpec(Ref)) {
+      uint64_t Seed;
+      FuzzKnobs Knobs;
+      std::string FuzzError;
+      if (!parseFuzzSpec(Ref, Seed, Knobs, &FuzzError)) {
+        std::fprintf(stderr, "error: bad fuzz spec '%s': %s\n", Ref.c_str(),
+                     FuzzError.c_str());
+        return false;
+      }
+      return true;
+    }
+    for (const std::string &N : workloadNames())
+      if (N == Ref)
+        return true;
+    std::fprintf(stderr, "error: unknown workload '%s' (see --list)\n",
+                 Ref.c_str());
+    return false;
+  };
+
+  if (!FuzzSpec.empty()) {
+    if (!WorkloadName.empty()) {
+      std::fprintf(stderr, "error: --fuzz and --workload are exclusive\n");
+      return 2;
+    }
+    // Accept both the bare SEED[:knobs] form and a full fuzz@ name.
+    WorkloadName = isFuzzSpec(FuzzSpec) ? FuzzSpec : "fuzz@" + FuzzSpec;
+  }
+  std::vector<std::string> MixCoRunners;
+  if (!MixSpec.empty()) {
+    if (!WorkloadName.empty()) {
+      std::fprintf(stderr, "error: --mix names its own primary lane; drop "
+                           "--workload/--fuzz\n");
+      return 2;
+    }
+    std::vector<std::string> Lanes;
+    size_t Pos = 0;
+    while (Pos <= MixSpec.size()) {
+      size_t Next = MixSpec.find('+', Pos);
+      if (Next == std::string::npos)
+        Next = MixSpec.size();
+      Lanes.push_back(MixSpec.substr(Pos, Next - Pos));
+      Pos = Next + 1;
+    }
+    if (Lanes.size() < 2 || Lanes.size() > 4) {
+      std::fprintf(stderr,
+                   "error: --mix needs 2..4 '+'-separated workloads\n");
+      return 2;
+    }
+    for (const std::string &L : Lanes)
+      if (L.empty()) {
+        std::fprintf(stderr, "error: empty lane in --mix spec '%s'\n",
+                     MixSpec.c_str());
+        return 2;
+      }
+    WorkloadName = Lanes.front();
+    MixCoRunners.assign(Lanes.begin() + 1, Lanes.end());
+  }
   if (WorkloadName.empty()) {
     usage(argv[0]);
     return 2;
   }
-
-  bool Known = false;
-  for (const std::string &N : workloadNames())
-    Known |= N == WorkloadName;
-  if (!Known) {
-    std::fprintf(stderr, "error: unknown workload '%s' (see --list)\n",
-                 WorkloadName.c_str());
+  if (!validRef(WorkloadName))
     return 2;
-  }
+  for (const std::string &L : MixCoRunners)
+    if (!validRef(L))
+      return 2;
 
   SimConfig C = SimConfig::hwBaseline();
   if (Mode == "hw") {
@@ -354,6 +443,12 @@ int main(int argc, char **argv) {
   C.Runtime.Dlt.MonitorWindow = Window;
   C.Runtime.Dlt.MissThreshold = MissThreshold;
   C.Runtime.DistanceCap = DistanceCap;
+  if (MixQuantum == 0) {
+    std::fprintf(stderr, "error: --mix-quantum must be positive\n");
+    return 2;
+  }
+  C.MixWith = MixCoRunners;
+  C.MixQuantumCycles = MixQuantum;
 
   if (!FaultsPath.empty()) {
     std::ifstream In(FaultsPath);
@@ -375,9 +470,16 @@ int main(int argc, char **argv) {
   }
 
   std::printf("trident_sim: %s, mode %s, hwpf %s, %llu instrs "
-              "(tlb %s, link %s)\n\n",
+              "(tlb %s, link %s)\n",
               WorkloadName.c_str(), Mode.c_str(), HwPf.c_str(),
               (unsigned long long)Instr, onOff(EnableTlb), onOff(!NoLink));
+  if (!MixCoRunners.empty()) {
+    std::printf("mix co-runners:");
+    for (const std::string &L : MixCoRunners)
+      std::printf(" %s", L.c_str());
+    std::printf(" (quantum %llu cycles)\n", (unsigned long long)MixQuantum);
+  }
+  std::printf("\n");
 
   Workload W = makeWorkload(WorkloadName);
   if (C.Selector.Policy == SelectorPolicy::Oracle) {

@@ -9,8 +9,9 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
-cmake --build "$BUILD_DIR" --target golden_stats_test -j
+cmake --build "$BUILD_DIR" --target golden_stats_test fuzz_golden_test -j
 (cd "$BUILD_DIR/tests" && TRIDENT_UPDATE_GOLDENS=1 ./golden_stats_test)
+(cd "$BUILD_DIR/tests" && TRIDENT_UPDATE_GOLDENS=1 ./fuzz_golden_test)
 
 echo
 echo "Golden snapshots rewritten; review before committing:"
